@@ -1,0 +1,283 @@
+(* mcdsm: command-line driver for the mixed-consistency DSM.
+
+   Subcommands run each Section-5 application on a chosen memory system
+   and optionally check the recorded history against the formal
+   consistency definitions.
+
+     mcdsm solver --variant barrier --workers 4 -n 16
+     mcdsm em --procs 4 --steps 8 --memory invalidate
+     mcdsm cholesky --variant counter -n 24
+     mcdsm litmus *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Op = Mc_history.Op
+module Solver = Mc_apps.Linear_solver
+module Em = Mc_apps.Em_field
+module Sparse = Mc_apps.Sparse_spd
+module Cholesky = Mc_apps.Cholesky
+
+type memory = Mixed | Central | Invalidate
+
+let memory_conv =
+  let parse = function
+    | "mixed" -> Ok Mixed
+    | "central" -> Ok Central
+    | "invalidate" -> Ok Invalidate
+    | s -> Error (`Msg (Printf.sprintf "unknown memory system %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with Mixed -> "mixed" | Central -> "central" | Invalidate -> "invalidate")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let propagation_conv =
+  let parse = function
+    | "eager" -> Ok Config.Eager
+    | "lazy" -> Ok Config.Lazy
+    | "demand" -> Ok Config.Demand
+    | "entry" -> Ok Config.Entry
+    | s -> Error (`Msg (Printf.sprintf "unknown propagation mode %S" s))
+  in
+  Cmdliner.Arg.conv (parse, Config.pp_propagation)
+
+(* run [f] on the chosen memory system; returns (result, sim time,
+   messages, history if recorded) *)
+let run_on ~memory ~procs ~propagation ~record f =
+  match memory with
+  | Mixed ->
+    let engine = Engine.create () in
+    let cfg = { (Config.default ~procs) with propagation; record } in
+    let rt = Runtime.create engine cfg in
+    let out = f (Api.spawn rt) in
+    let time = Runtime.run rt in
+    let history = if record then Some (Runtime.history rt) else None in
+    (out, time, Mc_net.Network.messages_sent (Runtime.network rt), history)
+  | Central ->
+    let engine = Engine.create () in
+    let m = Mc_baselines.Sc_central.create engine ~record ~procs () in
+    let out = f (Mc_baselines.Sc_central.spawn m) in
+    let time = Mc_baselines.Sc_central.run m in
+    let history = if record then Some (Mc_baselines.Sc_central.history m) else None in
+    (out, time, Mc_baselines.Sc_central.messages_sent m, history)
+  | Invalidate ->
+    let engine = Engine.create () in
+    let m = Mc_baselines.Sc_invalidate.create engine ~record ~procs () in
+    let out = f (Mc_baselines.Sc_invalidate.spawn m) in
+    let time = Mc_baselines.Sc_invalidate.run m in
+    let history = if record then Some (Mc_baselines.Sc_invalidate.history m) else None in
+    (out, time, Mc_baselines.Sc_invalidate.messages_sent m, history)
+
+let check_history ?(trace = false) = function
+  | None -> ()
+  | Some h ->
+    if trace then begin
+      print_endline "\n--- space-time diagram ---";
+      print_string (Mc_history.Render.space_time h);
+      let path = "history.dot" in
+      let oc = open_out path in
+      output_string oc (Mc_history.Render.dot h);
+      close_out oc;
+      Printf.printf "--- causality graph written to %s ---\n" path;
+      print_string (Mc_history.Render.summary h)
+    end;
+    Printf.printf "history: %d ops, well-formed=%b, mixed-consistent=%b\n"
+      (Mc_history.History.length h)
+      (Mc_history.History.is_well_formed h)
+      (Mc_consistency.Mixed.is_mixed_consistent h);
+    if Mc_history.History.length h <= 60 then
+      match Mc_consistency.Sequential.is_sequentially_consistent h with
+      | Mc_consistency.Sequential.Consistent ->
+        print_endline "sequentially consistent: yes"
+      | Inconsistent -> print_endline "sequentially consistent: no"
+      | Unknown -> print_endline "sequentially consistent: unknown (bound)"
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let procs_arg default =
+  Arg.(value & opt int default & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processes.")
+
+let memory_arg =
+  Arg.(
+    value
+    & opt memory_conv Mixed
+    & info [ "memory" ] ~docv:"MEM" ~doc:"Memory system: mixed, central or invalidate.")
+
+let propagation_arg =
+  Arg.(
+    value
+    & opt propagation_conv Config.Lazy
+    & info [ "propagation" ] ~docv:"MODE" ~doc:"Lock propagation: eager, lazy, demand or entry.")
+
+let record_arg =
+  Arg.(value & flag & info [ "check" ] ~doc:"Record the execution and run the consistency checkers.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "With --check: print a space-time diagram and write the causality \
+           graph to history.dot.")
+
+(* ---------------- solver ---------------- *)
+
+let solver_cmd =
+  let variant_conv =
+    let parse = function
+      | "barrier" -> Ok Solver.Barrier_pram
+      | "handshake" -> Ok Solver.Handshake_causal
+      | "handshake-pram" -> Ok Solver.Handshake_pram
+      | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+    in
+    Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Solver.variant_to_string v))
+  in
+  let run n workers variant memory propagation record trace seed =
+    let procs = workers + 1 in
+    let problem = Solver.Problem.generate ~seed ~n in
+    let expected = Solver.reference ~variant problem in
+    let res, time, msgs, history =
+      run_on ~memory ~procs ~propagation ~record (fun spawn ->
+          Solver.launch ~spawn ~procs ~variant problem)
+    in
+    let r = Option.get !res in
+    Printf.printf "%s: n=%d workers=%d iters=%d converged=%b\n"
+      (Solver.variant_to_string variant)
+      n workers r.Solver.iterations r.Solver.converged;
+    Printf.printf "sim time=%.1fus messages=%d exact=%b\n" time msgs
+      (r.Solver.x = expected.Solver.x);
+    check_history ~trace history
+  in
+  let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"System size.") in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"W" ~doc:"Worker count.")
+  in
+  let variant_arg =
+    Arg.(
+      value
+      & opt variant_conv Solver.Barrier_pram
+      & info [ "variant" ] ~docv:"V" ~doc:"barrier, handshake or handshake-pram.")
+  in
+  Cmd.v
+    (Cmd.info "solver" ~doc:"Iterative linear-equation solver (Sec. 5.1, Figs. 2-3)")
+    Term.(
+      const run $ n_arg $ workers_arg $ variant_arg $ memory_arg $ propagation_arg
+      $ record_arg $ trace_arg $ seed_arg)
+
+(* ---------------- em ---------------- *)
+
+let em_cmd =
+  let run procs steps cols memory propagation record trace seed =
+    let params = { Em.rows = 4 * procs; cols; steps; seed } in
+    let expected = Em.reference ~procs params in
+    let res, time, msgs, history =
+      run_on ~memory ~procs ~propagation ~record (fun spawn ->
+          Em.launch ~spawn ~procs params)
+    in
+    let r = Option.get !res in
+    Printf.printf "EM field %dx%d, %d steps on %d procs\n" params.Em.rows cols steps
+      procs;
+    Printf.printf "sim time=%.1fus messages=%d exact=%b energy=%d\n" time msgs
+      (r.Em.checksum = expected.Em.checksum)
+      r.Em.energy;
+    check_history ~trace history
+  in
+  let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Update rounds.") in
+  let cols_arg = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid width.") in
+  Cmd.v
+    (Cmd.info "em" ~doc:"Electromagnetic field computation (Sec. 5.2, Fig. 4)")
+    Term.(
+      const run $ procs_arg 4 $ steps_arg $ cols_arg $ memory_arg $ propagation_arg
+      $ record_arg $ trace_arg $ seed_arg)
+
+(* ---------------- cholesky ---------------- *)
+
+let cholesky_cmd =
+  let variant_conv =
+    let parse = function
+      | "lock" -> Ok Cholesky.Lock_based
+      | "counter" -> Ok Cholesky.Counter_based
+      | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+    in
+    Arg.conv
+      (parse, fun fmt v -> Format.pp_print_string fmt (Cholesky.variant_to_string v))
+  in
+  let run n density variant memory propagation record trace seed =
+    let m = Sparse.generate ~seed ~n ~density in
+    let lref = Sparse.factor_reference m in
+    let res, time, msgs, history =
+      run_on ~memory ~procs:4 ~propagation ~record (fun spawn ->
+          Cholesky.launch ~spawn ~procs:4 ~variant m)
+    in
+    let r = Option.get !res in
+    Printf.printf "%s: n=%d nnz(L)=%d\n"
+      (Cholesky.variant_to_string variant)
+      n (Sparse.nnz m);
+    Printf.printf "sim time=%.1fus messages=%d exact=%b max_error=%d\n" time msgs
+      (r.Cholesky.l = lref) r.Cholesky.max_error;
+    check_history ~trace history
+  in
+  let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Matrix dimension.") in
+  let density_arg =
+    Arg.(value & opt float 0.2 & info [ "density" ] ~doc:"Off-diagonal density.")
+  in
+  let variant_arg =
+    Arg.(
+      value
+      & opt variant_conv Cholesky.Lock_based
+      & info [ "variant" ] ~docv:"V" ~doc:"lock or counter.")
+  in
+  Cmd.v
+    (Cmd.info "cholesky" ~doc:"Sparse Cholesky factorization (Sec. 5.3, Fig. 5)")
+    Term.(
+      const run $ n_arg $ density_arg $ variant_arg $ memory_arg $ propagation_arg
+      $ record_arg $ trace_arg $ seed_arg)
+
+(* ---------------- litmus ---------------- *)
+
+let litmus_cmd =
+  let run () =
+    let module Dsl = Mc_history.Dsl in
+    let show name h =
+      let sc =
+        match Mc_consistency.Sequential.is_sequentially_consistent h with
+        | Mc_consistency.Sequential.Consistent -> "SC"
+        | Inconsistent -> "not SC"
+        | Unknown -> "SC?"
+      in
+      Printf.printf "%-28s PRAM:%-3b causal:%-3b mixed:%-3b %s\n" name
+        (Mc_consistency.Pram.is_pram_history h)
+        (Mc_consistency.Causal.is_causal_history h)
+        (Mc_consistency.Mixed.is_mixed_consistent h)
+        sc
+    in
+    show "dekker"
+      (Dsl.make ~procs:2
+         [ [ Dsl.w "x" 1; Dsl.rc "y" 0 ]; [ Dsl.w "y" 1; Dsl.rc "x" 0 ] ]);
+    show "message-passing"
+      (Dsl.make ~procs:2
+         [ [ Dsl.w "x" 42; Dsl.w "f" 1 ]; [ Dsl.rc "f" 1; Dsl.rc "x" 42 ] ]);
+    show "transitive-chain-pram"
+      (Dsl.make ~procs:3
+         [
+           [ Dsl.w "x" 1 ];
+           [ Dsl.rp "x" 1; Dsl.w "y" 2 ];
+           [ Dsl.rp "y" 2; Dsl.rp "x" 0 ];
+         ])
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Check classic litmus histories against the definitions")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "mcdsm" ~version:"1.0.0"
+      ~doc:"Mixed-consistency distributed shared memory (PODC '94 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ solver_cmd; em_cmd; cholesky_cmd; litmus_cmd ]))

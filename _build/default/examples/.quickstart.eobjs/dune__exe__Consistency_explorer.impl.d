@@ -1,0 +1,1 @@
+examples/consistency_explorer.ml: List Mc_consistency Mc_history Printf

@@ -1,0 +1,1 @@
+examples/equation_solver.ml: Array List Mc_apps Mc_dsm Mc_history Mc_net Mc_sim Option Printf Sys

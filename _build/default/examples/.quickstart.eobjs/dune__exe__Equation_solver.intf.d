@@ -1,0 +1,1 @@
+examples/equation_solver.mli:

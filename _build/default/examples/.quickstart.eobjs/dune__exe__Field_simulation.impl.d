@@ -1,0 +1,1 @@
+examples/field_simulation.ml: Array Mc_apps Mc_baselines Mc_dsm Mc_net Mc_sim Option Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mc_consistency Mc_dsm Mc_history Mc_net Mc_sim Printf

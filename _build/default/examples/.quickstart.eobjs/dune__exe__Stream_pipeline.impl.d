@@ -1,0 +1,1 @@
+examples/stream_pipeline.ml: Array List Mc_apps Mc_dsm Mc_net Mc_sim Option Printf Sys

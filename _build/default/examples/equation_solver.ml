@@ -1,0 +1,77 @@
+(* The Section-5.1 workload end to end: solve a random diagonally
+   dominant system with the Figure-2 (barriers + PRAM) and Figure-3
+   (handshaking + causal) programs, verify both against the sequential
+   reference, and show what happens when Figure 3 is weakened to PRAM.
+
+   Run with: dune exec examples/equation_solver.exe -- [n] [workers] *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Latency = Mc_net.Latency
+module Solver = Mc_apps.Linear_solver
+module Fixed = Mc_apps.Fixed
+module Op = Mc_history.Op
+
+let run ~procs ~variant ?await_label ?latency problem =
+  let engine = Engine.create () in
+  let cfg =
+    match await_label with
+    | Some l -> { (Config.default ~procs) with await_label = l }
+    | None -> Config.default ~procs
+  in
+  let rt = Runtime.create engine ?latency cfg in
+  let res = Solver.launch ~spawn:(Api.spawn rt) ~procs ~variant problem in
+  let time = Runtime.run rt in
+  (Option.get !res, time, Mc_net.Network.messages_sent (Runtime.network rt))
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 16 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let procs = workers + 1 in
+  let problem = Solver.Problem.generate ~seed:42 ~n in
+  Printf.printf "solving a %dx%d diagonally dominant system with %d workers\n\n" n n
+    workers;
+
+  List.iter
+    (fun variant ->
+      let expected = Solver.reference ~variant problem in
+      let result, time, msgs = run ~procs ~variant problem in
+      Printf.printf "%-32s iters=%-3d converged=%-5b sim=%8.1fus msgs=%-6d %s\n"
+        (Solver.variant_to_string variant)
+        result.Solver.iterations result.Solver.converged time msgs
+        (if result.Solver.x = expected.Solver.x then "matches reference exactly"
+         else "DIVERGED from reference");
+      if variant = Solver.Barrier_pram then begin
+        let x0 = Fixed.to_float result.Solver.x.(0) in
+        Printf.printf "  x[0] = %.4f, residual = %.4f\n" x0
+          (Fixed.to_float (Solver.residual problem result.Solver.x))
+      end)
+    [ Solver.Barrier_pram; Solver.Handshake_causal ];
+
+  (* the weakened variant, under latencies that make staleness visible:
+     the coordinator is near every worker, workers are far apart *)
+  print_newline ();
+  let nodes = procs in
+  let lat = Array.make_matrix nodes nodes 2000. in
+  for i = 0 to nodes - 1 do
+    lat.(i).(i) <- 0.;
+    lat.(i).(0) <- 5.;
+    lat.(0).(i) <- 5.
+  done;
+  let latency = Latency.matrix lat in
+  let expected = Solver.reference ~variant:Solver.Handshake_causal problem in
+  let weak, _, _ =
+    run ~procs ~variant:Solver.Handshake_pram ~await_label:Op.PRAM ~latency problem
+  in
+  Printf.printf
+    "%-32s iters=%-3d %s\n"
+    (Solver.variant_to_string Solver.Handshake_pram)
+    weak.Solver.iterations
+    (if weak.Solver.x = expected.Solver.x then
+       "matches (staleness did not bite this time)"
+     else "diverged, as Section 5.1 warns: PRAM reads return inconsistent values");
+  print_endline
+    "\nthe causal variant is immune: Theorem 1 shows its histories are sequentially\n\
+     consistent, so it always computes exactly the reference trajectory."

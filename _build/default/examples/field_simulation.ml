@@ -1,0 +1,65 @@
+(* The Section-5.2 workload: a 2-D electromagnetic field computation on
+   strip-partitioned E/H grids, run on three different memory systems -
+   the mixed-consistency DSM (PRAM reads + barriers), the directory-based
+   write-invalidate SC memory, and the central-server SC memory - to show
+   what weak consistency buys (paper Sections 1 and 5.2).
+
+   Run with: dune exec examples/field_simulation.exe -- [procs] [steps] *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Em = Mc_apps.Em_field
+
+let () =
+  let procs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let steps = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 8 in
+  let params = { Em.rows = 4 * procs; cols = 8; steps; seed = 5 } in
+  let expected = Em.reference ~procs params in
+  Printf.printf "EM field: %dx%d grid, %d steps, %d processes (row strips)\n\n"
+    params.Em.rows params.Em.cols steps procs;
+  Printf.printf "sequential reference: checksum=%d energy=%d\n\n"
+    expected.Em.checksum expected.Em.energy;
+
+  let report name result time msgs bytes =
+    let r : Em.result = Option.get !result in
+    Printf.printf "%-28s sim=%10.1fus msgs=%-6d bytes=%-8d %s\n" name time msgs bytes
+      (if r.Em.checksum = expected.Em.checksum then "exact" else "WRONG")
+  in
+
+  (* mixed consistency: the program is PRAM-consistent (Corollary 2), so
+     updates need no vector timestamps either *)
+  let engine = Engine.create () in
+  let cfg = { (Config.default ~procs) with timestamped_updates = false } in
+  let rt = Runtime.create engine cfg in
+  let res = Em.launch ~spawn:(Api.spawn rt) ~procs params in
+  let time = Runtime.run rt in
+  let net = Runtime.network rt in
+  report "mixed (PRAM + barriers)" res time
+    (Mc_net.Network.messages_sent net)
+    (Mc_net.Network.bytes_sent net);
+
+  let engine = Engine.create () in
+  let m = Mc_baselines.Sc_invalidate.create engine ~procs () in
+  let res = Em.launch ~spawn:(Mc_baselines.Sc_invalidate.spawn m) ~procs params in
+  let time = Mc_baselines.Sc_invalidate.run m in
+  report "SC write-invalidate" res time
+    (Mc_baselines.Sc_invalidate.messages_sent m)
+    (Mc_baselines.Sc_invalidate.bytes_sent m);
+  Printf.printf "  (cache hits: %d, misses: %d)\n"
+    (Mc_baselines.Sc_invalidate.cache_hits m)
+    (Mc_baselines.Sc_invalidate.cache_misses m);
+
+  let engine = Engine.create () in
+  let m = Mc_baselines.Sc_central.create engine ~procs () in
+  let res = Em.launch ~spawn:(Mc_baselines.Sc_central.spawn m) ~procs params in
+  let time = Mc_baselines.Sc_central.run m in
+  report "SC central server" res time
+    (Mc_baselines.Sc_central.messages_sent m)
+    (Mc_baselines.Sc_central.bytes_sent m);
+
+  print_endline
+    "\nall three systems compute the identical field; the mixed-consistency DSM\n\
+     shares only the strip-boundary rows (the \"ghost copies\" of Section 5.2)\n\
+     and never blocks a read, which is where the speedup comes from."

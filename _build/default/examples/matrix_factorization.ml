@@ -1,0 +1,50 @@
+(* The Section-5.3 workload: parallel sparse Cholesky factorization,
+   comparing the Figure-5 lock-based algorithm with the counter-object
+   algorithm that replaces critical sections by commuting decrements.
+
+   Run with: dune exec examples/matrix_factorization.exe -- [n] [procs] *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Sparse = Mc_apps.Sparse_spd
+module Cholesky = Mc_apps.Cholesky
+module Fixed = Mc_apps.Fixed
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 24 in
+  let procs = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let m = Sparse.generate ~seed:11 ~n ~density:0.2 in
+  let lref = Sparse.factor_reference m in
+  Printf.printf
+    "sparse SPD matrix: n=%d, nnz(L)=%d after symbolic factorization\n"
+    n (Sparse.nnz m);
+  Printf.printf "sequential factor residual |L L^T - A|_max = %.5f\n\n"
+    (Fixed.to_float (Sparse.verify m lref));
+
+  let outcomes =
+    List.map
+      (fun variant ->
+        let engine = Engine.create () in
+        let rt = Runtime.create engine (Config.default ~procs) in
+        let res = Cholesky.launch ~spawn:(Api.spawn rt) ~procs ~variant m in
+        let time = Runtime.run rt in
+        let r = Option.get !res in
+        let msgs = Mc_net.Network.messages_sent (Runtime.network rt) in
+        Printf.printf "%-28s sim=%10.1fus msgs=%-6d %s\n"
+          (Cholesky.variant_to_string variant)
+          time msgs
+          (if r.Cholesky.l = lref then "factor matches reference exactly"
+           else "factor DIFFERS");
+        (variant, time))
+      [ Cholesky.Lock_based; Cholesky.Counter_based ]
+  in
+  match outcomes with
+  | [ (_, t_lock); (_, t_ctr) ] ->
+    Printf.printf
+      "\ncounter objects are %.2fx faster: every L[i][k] -= L[i][j]*L[k][j] update\n\
+       and every count[k] decrement commutes, so the critical sections of Figure 5\n\
+       (and their lock-manager round trips) disappear entirely (Section 5.3).\n"
+      (t_lock /. t_ctr)
+  | _ -> assert false

@@ -1,0 +1,49 @@
+(* Producer/consumer streams (paper Section 1): the same bounded-buffer
+   pipeline written twice - once with awaits (the model's intended
+   primitive for producer/consumer interactions) and once with locks plus
+   polling (what remains when awaits are missing).
+
+   Run with: dune exec examples/stream_pipeline.exe -- [stages] [items] *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Pipeline = Mc_apps.Pipeline
+
+let () =
+  let stages = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let items = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 60 in
+  let params = { Pipeline.items; slots = 4; work = 5.0 } in
+  let expected = Pipeline.reference ~procs:stages params in
+  Printf.printf
+    "pipeline: %d stages, %d items, window of %d slots (checksum %d)\n\n" stages
+    items params.Pipeline.slots expected.Pipeline.checksum;
+
+  let outcomes =
+    List.map
+      (fun impl ->
+        let engine = Engine.create () in
+        let rt = Runtime.create engine (Config.default ~procs:stages) in
+        let res = Pipeline.launch ~spawn:(Api.spawn rt) ~procs:stages ~impl params in
+        let time = Runtime.run rt in
+        let r = Option.get !res in
+        let msgs = Mc_net.Network.messages_sent (Runtime.network rt) in
+        Printf.printf "%-28s sim=%9.1fus msgs=%-5d throughput=%6.1f items/ms  %s\n"
+          (Pipeline.impl_to_string impl)
+          time msgs
+          (float_of_int items /. time *. 1000.)
+          (if r.Pipeline.checksum = expected.Pipeline.checksum then "exact"
+           else "WRONG");
+        time)
+      [ Pipeline.Await_based; Pipeline.Lock_based ]
+  in
+  match outcomes with
+  | [ t_await; t_lock ] ->
+    Printf.printf
+      "\nawaits are %.1fx faster: each hand-off is one update plus one flag write,\n\
+       while the lock version pays a lock-manager round trip for every buffer\n\
+       emptiness/fullness check (Sec. 1: awaits are \"useful for producer/consumer\n\
+       type of interactions\").\n"
+      (t_lock /. t_await)
+  | _ -> assert false

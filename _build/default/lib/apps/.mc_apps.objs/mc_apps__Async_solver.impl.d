@@ -1,0 +1,1 @@
+lib/apps/async_solver.ml: Array Fixed Linear_solver Mc_dsm Mc_history

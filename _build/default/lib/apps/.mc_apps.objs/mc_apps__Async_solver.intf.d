@@ -1,0 +1,1 @@
+lib/apps/async_solver.mli: Linear_solver Mc_dsm Mc_history

@@ -1,0 +1,1 @@
+lib/apps/cholesky.ml: Array Fixed List Mc_dsm Printf Sparse_spd

@@ -1,0 +1,1 @@
+lib/apps/cholesky.mli: Mc_dsm Sparse_spd

@@ -1,0 +1,1 @@
+lib/apps/em_field.ml: Array Fixed Mc_dsm Mc_history Mc_util Printf String

@@ -1,0 +1,1 @@
+lib/apps/em_field.mli: Mc_dsm Mc_history

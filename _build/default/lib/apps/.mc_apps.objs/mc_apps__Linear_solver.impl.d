@@ -1,0 +1,1 @@
+lib/apps/linear_solver.ml: Array Fixed List Mc_dsm Mc_history Mc_util

@@ -1,0 +1,1 @@
+lib/apps/pipeline.ml: Mc_dsm Printf

@@ -1,0 +1,1 @@
+lib/apps/pipeline.mli: Mc_dsm

@@ -1,0 +1,1 @@
+lib/apps/sparse_spd.ml: Array Fixed List Mc_util

@@ -1,0 +1,1 @@
+lib/apps/sparse_spd.mli:

@@ -1,0 +1,120 @@
+module Api = Mc_dsm.Api
+module Op = Mc_history.Op
+module Problem = Linear_solver.Problem
+
+type result = {
+  x : int array;
+  sweeps : int array;
+  residual : int;
+  converged : bool;
+}
+
+let default_tol = Fixed.scale / 100
+
+let loc_x i = "ax:" ^ string_of_int i
+let loc_done = "adone"
+let loc_sweeps w = "asweeps:" ^ string_of_int w
+
+let update_row (p : Problem.t) get r =
+  let sum = ref 0 in
+  for j = 0 to p.Problem.n - 1 do
+    sum := !sum + Fixed.mul p.Problem.a.(r).(j) (get j)
+  done;
+  get r + Fixed.div (p.Problem.b.(r) - !sum) p.Problem.a.(r).(r)
+
+let residual (p : Problem.t) x =
+  let m = ref 0 in
+  for i = 0 to p.Problem.n - 1 do
+    let sum = ref 0 in
+    for j = 0 to p.Problem.n - 1 do
+      sum := !sum + Fixed.mul p.Problem.a.(i).(j) x.(j)
+    done;
+    m := max !m (abs (p.Problem.b.(i) - !sum))
+  done;
+  !m
+
+let rows_of_worker ~n ~workers w =
+  let per = n / workers and extra = n mod workers in
+  let lo = (w * per) + min w extra in
+  let hi = lo + per + (if w < extra then 1 else 0) - 1 in
+  (lo, hi)
+
+let worker (p : Problem.t) ~workers ~label ~max_sweeps w (api : Api.t) =
+  let lo, hi = rows_of_worker ~n:p.Problem.n ~workers (w - 1) in
+  let read_x i = api.Api.read ~label (loc_x i) in
+  let sweeps = ref 0 in
+  while api.Api.read ~label loc_done = 0 && !sweeps < max_sweeps do
+    for r = lo to hi do
+      (* chaotic relaxation: read whatever estimates have arrived, write
+         the fresh value immediately - no synchronization whatsoever *)
+      api.Api.write (loc_x r) (update_row p read_x r);
+      api.Api.compute 1.0
+    done;
+    incr sweeps;
+    api.Api.write (loc_sweeps w) !sweeps;
+    (* pace sweeps against propagation: a sweep that reuses the same
+       stale foreign estimates makes no progress, so give updates one
+       latency window to arrive *)
+    api.Api.compute 30.0
+  done
+
+let monitor (p : Problem.t) ~workers ~label ~tol ~max_checks result (api : Api.t) =
+  let n = p.Problem.n in
+  let read_x i = api.Api.read ~label (loc_x i) in
+  let prev = ref None in
+  let checks = ref 0 in
+  let finished = ref false in
+  let hit_tol = ref false in
+  while not !finished do
+    api.Api.compute 200.0;
+    (* poll period *)
+    incr checks;
+    let cur = Array.init n read_x in
+    (match !prev with
+    | Some prev_x
+      when (let d = ref 0 in
+            Array.iteri (fun i v -> d := max !d (abs (v - prev_x.(i)))) cur;
+            !d)
+           <= tol / 4
+           && residual p cur <= tol ->
+      hit_tol := true
+    | Some _ | None -> ());
+    if !hit_tol || !checks >= max_checks then begin
+      api.Api.write loc_done 1;
+      finished := true
+    end;
+    prev := Some cur
+  done;
+  (* drain: give stragglers a moment to observe [done], then gather *)
+  api.Api.compute 2000.0;
+  let x = Array.init n read_x in
+  let sweeps = Array.init workers (fun w -> api.Api.read ~label (loc_sweeps (w + 1))) in
+  result := Some { x; sweeps; residual = residual p x; converged = !hit_tol }
+
+let launch ~spawn ~procs ?(label = Op.PRAM) ?(max_sweeps = 500) ?(tol = default_tol)
+    (p : Problem.t) =
+  if procs < 2 then invalid_arg "Async_solver.launch: need a monitor and a worker";
+  let workers = procs - 1 in
+  let result = ref None in
+  spawn 0 (fun api -> monitor p ~workers ~label ~tol ~max_checks:200 result api);
+  for w = 1 to workers do
+    spawn w (fun api -> worker p ~workers ~label ~max_sweeps w api)
+  done;
+  result
+
+let solution ?(tol = default_tol) (p : Problem.t) =
+  let n = p.Problem.n in
+  let x = Array.make n 0 in
+  let moved = ref true in
+  let rounds = ref 0 in
+  while !moved && !rounds < 10_000 do
+    incr rounds;
+    moved := false;
+    let next = Array.init n (fun r -> update_row p (fun j -> x.(j)) r) in
+    Array.iteri
+      (fun i v ->
+        if abs (v - x.(i)) > tol / 16 then moved := true;
+        x.(i) <- v)
+      next
+  done;
+  x

@@ -1,0 +1,37 @@
+(** Asynchronous relaxation solver (paper Section 7: "Equivalence to a
+    sequentially consistent computation may not always be necessary. For
+    example, some asynchronous relaxation algorithms such as Gauss-Seidel
+    iteration converge even with PRAM").
+
+    Workers sweep their rows continuously with no barriers, handshakes or
+    locks — every read is a plain PRAM read of whatever estimate has
+    reached the local replica, and own-row updates are visible
+    immediately (Gauss-Seidel within a block, chaotic relaxation across
+    blocks). A coordinator polls the estimate and raises a [done] flag
+    once it stops moving. The execution is {e not} equivalent to any
+    sequentially consistent run, yet for diagonally dominant systems the
+    iteration still converges to the solution (Chazan-Miranker). *)
+
+type result = {
+  x : int array;  (** final estimate, fixed point *)
+  sweeps : int array;  (** sweeps completed per worker — typically uneven *)
+  residual : int;  (** max-norm residual of the returned estimate *)
+  converged : bool;
+}
+
+(** [launch ~spawn ~procs ?label ?max_sweeps ?tol problem] runs process 0
+    as the convergence monitor and processes 1..procs-1 as sweep workers.
+    [label] is the read label (default PRAM). *)
+val launch :
+  spawn:(int -> (Mc_dsm.Api.t -> unit) -> unit) ->
+  procs:int ->
+  ?label:Mc_history.Op.label ->
+  ?max_sweeps:int ->
+  ?tol:int ->
+  Linear_solver.Problem.t ->
+  result option ref
+
+(** [solution problem] is the converged synchronous solution, for
+    accuracy comparison (async runs match it within tolerance, not
+    exactly). *)
+val solution : ?tol:int -> Linear_solver.Problem.t -> int array

@@ -1,0 +1,111 @@
+module Api = Mc_dsm.Api
+
+type variant = Lock_based | Counter_based
+
+let variant_to_string = function
+  | Lock_based -> "lock-based (Fig. 5)"
+  | Counter_based -> "counter objects (Sec. 5.3)"
+
+type result = { l : int array array; max_error : int }
+
+let loc_l i j = Printf.sprintf "L:%d:%d" i j
+let loc_count j = "count:" ^ string_of_int j
+let lock_col k = "l:" ^ string_of_int k
+
+(* columns owned by process p: round-robin assignment *)
+let owned_columns ~n ~procs p =
+  let rec collect j acc = if j >= n then List.rev acc else collect (j + procs) (j :: acc) in
+  collect p []
+
+let init_columns (m : Sparse_spd.t) ~variant p cols (api : Api.t) =
+  let install loc v =
+    match variant with
+    | Lock_based -> api.write loc v
+    | Counter_based -> api.init_counter loc v
+  in
+  List.iter
+    (fun j ->
+      List.iter (fun i -> install (loc_l i j) m.Sparse_spd.values.(i).(j)) (Sparse_spd.column m j);
+      install (loc_count j) m.Sparse_spd.deps.(j))
+    cols;
+  ignore p
+
+(* rows of column j strictly below the diagonal *)
+let below m j = List.filter (fun i -> i > j) (Sparse_spd.column m j)
+
+let process_column_locked (m : Sparse_spd.t) j (api : Api.t) =
+  api.await (loc_count j) 0;
+  let diag = Fixed.sqrt (api.read (loc_l j j)) in
+  api.write (loc_l j j) diag;
+  let rows = below m j in
+  let scaled = List.map (fun i -> (i, Fixed.div (api.read (loc_l i j)) diag)) rows in
+  List.iter (fun (i, v) -> api.write (loc_l i j) v) scaled;
+  api.compute (float_of_int (List.length rows));
+  List.iter
+    (fun (k, vk) ->
+      api.write_lock (lock_col k);
+      List.iter
+        (fun (i, vi) ->
+          if i >= k then begin
+            let cur = api.read (loc_l i k) in
+            api.write (loc_l i k) (cur - Fixed.mul vi vk)
+          end)
+        scaled;
+      let c = api.read (loc_count k) in
+      api.write (loc_count k) (c - 1);
+      api.write_unlock (lock_col k))
+    scaled
+
+let process_column_counters (m : Sparse_spd.t) j (api : Api.t) =
+  api.await (loc_count j) 0;
+  let diag = Fixed.sqrt (api.read (loc_l j j)) in
+  api.write (loc_l j j) diag;
+  let rows = below m j in
+  let scaled = List.map (fun i -> (i, Fixed.div (api.read (loc_l i j)) diag)) rows in
+  List.iter (fun (i, v) -> api.write (loc_l i j) v) scaled;
+  api.compute (float_of_int (List.length rows));
+  List.iter
+    (fun (k, vk) ->
+      List.iter
+        (fun (i, vi) ->
+          if i >= k then begin
+            let amount = Fixed.mul vi vk in
+            (* zero-amount decrements are no-ops; skipping them also keeps
+               recorded write values unique *)
+            if amount <> 0 then api.decrement (loc_l i k) ~amount
+          end)
+        scaled;
+      api.decrement (loc_count k) ~amount:1)
+    scaled
+
+let gather (m : Sparse_spd.t) (api : Api.t) =
+  let n = m.Sparse_spd.n in
+  let l = Array.make_matrix n n 0 in
+  for j = 0 to n - 1 do
+    List.iter (fun i -> l.(i).(j) <- api.read (loc_l i j)) (Sparse_spd.column m j)
+  done;
+  l
+
+let worker (m : Sparse_spd.t) ~procs ~variant result p (api : Api.t) =
+  let cols = owned_columns ~n:m.Sparse_spd.n ~procs p in
+  init_columns m ~variant p cols api;
+  api.barrier ();
+  let process =
+    match variant with
+    | Lock_based -> process_column_locked
+    | Counter_based -> process_column_counters
+  in
+  List.iter (fun j -> process m j api) cols;
+  api.barrier ();
+  if p = 0 then begin
+    let l = gather m api in
+    result := Some { l; max_error = Sparse_spd.verify m l }
+  end
+
+let launch ~spawn ~procs ~variant (m : Sparse_spd.t) =
+  if procs < 1 then invalid_arg "Cholesky.launch: need at least one process";
+  let result = ref None in
+  for p = 0 to procs - 1 do
+    spawn p (fun api -> worker m ~procs ~variant result p api)
+  done;
+  result

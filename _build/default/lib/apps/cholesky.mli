@@ -1,0 +1,34 @@
+(** Parallel sparse Cholesky factorization (paper Section 5.3, Figure 5).
+
+    Columns are assigned to processes round-robin. Each process awaits
+    its column's dependency count reaching zero, scales the column, and
+    pushes updates into dependent columns. Two variants:
+
+    - {!Lock_based} — Figure 5 verbatim: each remote-column update runs
+      in a critical section guarded by a write lock [l[k]]; reads are
+      causal (Theorem 1 applies).
+    - {!Counter_based} — the optimization of Section 5.3: matrix entries
+      and dependency counts are abstract counter objects supporting a
+      commuting decrement, so no critical sections are needed; the paper
+      reports this "outperforms the lock-based algorithm significantly".
+
+    Both produce the exact fixed-point factor of the sequential
+    reference (integer decrements commute). *)
+
+type variant = Lock_based | Counter_based
+
+val variant_to_string : variant -> string
+
+type result = {
+  l : int array array;  (** dense lower-triangular factor, fixed point *)
+  max_error : int;  (** [verify] residual against the input matrix *)
+}
+
+(** [launch ~spawn ~procs ~variant problem] runs the factorization; the
+    cell is filled by process 0 after the final barrier. *)
+val launch :
+  spawn:(int -> (Mc_dsm.Api.t -> unit) -> unit) ->
+  procs:int ->
+  variant:variant ->
+  Sparse_spd.t ->
+  result option ref

@@ -1,0 +1,30 @@
+let scale_bits = 16
+let scale = 1 lsl scale_bits
+
+let of_float v = int_of_float (Float.round (v *. float_of_int scale))
+let to_float x = float_of_int x /. float_of_int scale
+
+let mul a b = a * b / scale
+
+let div a b =
+  if b = 0 then invalid_arg "Fixed.div: division by zero";
+  a * scale / b
+
+let isqrt n =
+  if n < 0 then invalid_arg "Fixed.isqrt: negative argument";
+  if n = 0 then 0
+  else begin
+    (* Newton's method on integers; converges in ~60 iterations worst
+       case, monotonically decreasing once above the root. *)
+    let x = ref n in
+    let next = ref ((n / !x + !x) / 2) in
+    while !next < !x do
+      x := !next;
+      next := (n / !x + !x) / 2
+    done;
+    !x
+  end
+
+let sqrt x =
+  if x < 0 then invalid_arg "Fixed.sqrt: negative argument";
+  isqrt (x * scale)

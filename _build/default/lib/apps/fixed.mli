@@ -1,0 +1,29 @@
+(** Fixed-point arithmetic for the numeric applications.
+
+    Shared memory values are integers (the [Op.value] type), so the
+    scientific applications compute in Q-format fixed point: a real [v]
+    is represented as [round (v * scale)] with [scale = 2^16]. All
+    operations are deterministic, which lets tests compare distributed
+    results against sequential references exactly. *)
+
+val scale : int
+
+(** [of_float v] converts to fixed point. *)
+val of_float : float -> int
+
+(** [to_float x] converts back. *)
+val to_float : int -> float
+
+(** [mul a b] is the fixed-point product [(a * b) / scale]. *)
+val mul : int -> int -> int
+
+(** [div a b] is the fixed-point quotient [(a * scale) / b]. Requires
+    [b <> 0]. *)
+val div : int -> int -> int
+
+(** [sqrt x] is the fixed-point square root: [isqrt (x * scale)] for
+    non-negative [x]. *)
+val sqrt : int -> int
+
+(** [isqrt n] is the integer square root of a non-negative int. *)
+val isqrt : int -> int

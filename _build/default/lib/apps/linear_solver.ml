@@ -1,0 +1,278 @@
+module Api = Mc_dsm.Api
+module Op = Mc_history.Op
+
+module Problem = struct
+  type t = { n : int; a : int array array; b : int array; x0 : int array }
+
+  let generate ~seed ~n =
+    let rng = Mc_util.Rng.make seed in
+    let a = Array.make_matrix n n 0 in
+    for i = 0 to n - 1 do
+      let row_sum = ref 0 in
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          let v = Fixed.of_float (Mc_util.Rng.float_in rng (-1.0) 1.0) in
+          a.(i).(j) <- v;
+          row_sum := !row_sum + abs v
+        end
+      done;
+      (* strict diagonal dominance guarantees Jacobi convergence *)
+      a.(i).(i) <- !row_sum + Fixed.of_float (Mc_util.Rng.float_in rng 1.0 2.0)
+    done;
+    let b = Array.init n (fun _ -> Fixed.of_float (Mc_util.Rng.float_in rng (-5.0) 5.0)) in
+    let x0 = Array.make n 0 in
+    { n; a; b; x0 }
+end
+
+type variant = Barrier_pram | Handshake_causal | Handshake_pram | Handshake_group
+
+let variant_to_string = function
+  | Barrier_pram -> "barrier+pram (Fig. 2)"
+  | Handshake_causal -> "handshake+causal (Fig. 3)"
+  | Handshake_pram -> "handshake+pram (Fig. 3, weakened)"
+  | Handshake_group -> "handshake+group{0,i} (Sec. 3.2)"
+
+type result = { x : int array; iterations : int; converged : bool }
+
+let default_tol = Fixed.scale / 100
+
+(* one Jacobi update of row [r] given estimate-read function [get] *)
+let update_row (p : Problem.t) get r =
+  let sum = ref 0 in
+  for j = 0 to p.n - 1 do
+    sum := !sum + Fixed.mul p.a.(r).(j) (get j)
+  done;
+  get r + Fixed.div (p.b.(r) - !sum) p.a.(r).(r)
+
+let max_diff a b =
+  let m = ref 0 in
+  Array.iteri (fun i v -> m := max !m (abs (v - b.(i)))) a;
+  !m
+
+let residual (p : Problem.t) x =
+  let m = ref 0 in
+  for i = 0 to p.n - 1 do
+    let sum = ref 0 in
+    for j = 0 to p.n - 1 do
+      sum := !sum + Fixed.mul p.a.(i).(j) x.(j)
+    done;
+    m := max !m (abs (p.b.(i) - !sum))
+  done;
+  !m
+
+let loc_x i = "x:" ^ string_of_int i
+let loc_done = "done"
+let loc_computed i = "computed:" ^ string_of_int i
+let loc_updated i = "updated:" ^ string_of_int i
+
+(* rows owned by worker [w] of [workers], for a system of [n] rows *)
+let rows_of_worker ~n ~workers w =
+  let per = n / workers and extra = n mod workers in
+  let lo = (w * per) + min w extra in
+  let hi = lo + per + (if w < extra then 1 else 0) - 1 in
+  (lo, hi)
+
+(* the read label used by process [proc] under each variant; the group
+   variant gives every process the smallest group that restores
+   correctness - itself plus the coordinator, through which all
+   handshake causality flows *)
+let label_of_variant variant ~proc =
+  match variant with
+  | Barrier_pram -> Op.PRAM
+  | Handshake_causal -> Op.Causal
+  | Handshake_pram -> Op.PRAM
+  | Handshake_group -> Op.Group (if proc = 0 then [ 0 ] else [ 0; proc ])
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: barriers                                                  *)
+(*                                                                     *)
+(* Each iteration is split by two barriers into a read sub-phase (all  *)
+(* processes read the estimate; the coordinator decides convergence)   *)
+(* and an install sub-phase (workers install new estimates unless the  *)
+(* coordinator announced termination before the first barrier). The    *)
+(* workers' termination check sits between the barriers, where the     *)
+(* coordinator's [done] write is guaranteed visible, so every process  *)
+(* executes exactly the same number of barrier episodes.               *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_coordinator (p : Problem.t) ~max_iters ~tol ~label result (api : Api.t) =
+  let read_x i = api.read ~label (loc_x i) in
+  let prev = ref None in
+  let iterations = ref 0 in
+  let hit_tol = ref false in
+  let finished = ref false in
+  while not !finished do
+    let cur = Array.init p.n read_x in
+    (match !prev with
+    | Some prev_x when max_diff cur prev_x <= tol -> hit_tol := true
+    | Some _ | None -> ());
+    prev := Some cur;
+    if !hit_tol || !iterations >= max_iters then begin
+      api.write loc_done 1;
+      finished := true
+    end
+    else incr iterations;
+    api.barrier ();
+    api.barrier ()
+  done;
+  let x = Array.init p.n read_x in
+  result := Some { x; iterations = !iterations; converged = !hit_tol }
+
+let barrier_worker (p : Problem.t) ~workers ~label w (api : Api.t) =
+  let lo, hi = rows_of_worker ~n:p.n ~workers w in
+  let read_x i = api.read ~label (loc_x i) in
+  let temp = Array.make (hi - lo + 1) 0 in
+  let quit = ref false in
+  while not !quit do
+    for r = lo to hi do
+      temp.(r - lo) <- update_row p read_x r;
+      api.compute 1.0
+    done;
+    api.barrier ();
+    if api.read ~label loc_done = 1 then quit := true
+    else
+      for r = lo to hi do
+        api.write (loc_x r) temp.(r - lo)
+      done;
+    api.barrier ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: handshaking                                               *)
+(*                                                                     *)
+(* The coordinator paces iterations through [computed]/[updated]       *)
+(* handshake variables and awaits; termination is announced through    *)
+(* [done], written before the final [updated] acknowledgements, so     *)
+(* workers observe it at their next loop entry.                        *)
+(* ------------------------------------------------------------------ *)
+
+let handshake_coordinator (p : Problem.t) ~workers ~max_iters ~tol ~label result
+    (api : Api.t) =
+  let read_x i = api.read ~label (loc_x i) in
+  let prev = ref None in
+  let phase = ref 0 in
+  let iterations = ref 0 in
+  let hit_tol = ref false in
+  let finished = ref false in
+  while not !finished do
+    incr phase;
+    for w = 1 to workers do
+      api.await (loc_computed w) !phase
+    done;
+    for w = 1 to workers do
+      api.write (loc_computed w) (- !phase)
+    done;
+    for w = 1 to workers do
+      api.await (loc_updated w) !phase
+    done;
+    incr iterations;
+    let cur = Array.init p.n read_x in
+    (match !prev with
+    | Some prev_x when max_diff cur prev_x <= tol -> hit_tol := true
+    | Some _ | None -> ());
+    prev := Some cur;
+    if !hit_tol || !iterations >= max_iters then begin
+      api.write loc_done 1;
+      finished := true
+    end;
+    for w = 1 to workers do
+      api.write (loc_updated w) (- !phase)
+    done
+  done;
+  let x = Array.init p.n read_x in
+  result := Some { x; iterations = !iterations; converged = !hit_tol }
+
+let handshake_worker (p : Problem.t) ~workers ~label w (api : Api.t) =
+  let lo, hi = rows_of_worker ~n:p.n ~workers (w - 1) in
+  let read_x i = api.read ~label (loc_x i) in
+  let temp = Array.make (hi - lo + 1) 0 in
+  let phase = ref 0 in
+  while api.read ~label loc_done = 0 do
+    incr phase;
+    for r = lo to hi do
+      temp.(r - lo) <- update_row p read_x r;
+      api.compute 1.0
+    done;
+    api.write (loc_computed w) !phase;
+    api.await (loc_computed w) (- !phase);
+    for r = lo to hi do
+      api.write (loc_x r) temp.(r - lo)
+    done;
+    api.write (loc_updated w) !phase;
+    api.await (loc_updated w) (- !phase)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let launch ~spawn ~procs ~variant ?(max_iters = 200) ?(tol = default_tol)
+    (p : Problem.t) =
+  if procs < 2 then invalid_arg "Linear_solver.launch: need a coordinator and a worker";
+  let workers = procs - 1 in
+  let result = ref None in
+  (match variant with
+  | Barrier_pram ->
+    spawn 0 (fun api ->
+        barrier_coordinator p ~max_iters ~tol
+          ~label:(label_of_variant variant ~proc:0) result api);
+    for w = 1 to workers do
+      spawn w (fun api ->
+          barrier_worker p ~workers ~label:(label_of_variant variant ~proc:w)
+            (w - 1) api)
+    done
+  | Handshake_causal | Handshake_pram | Handshake_group ->
+    spawn 0 (fun api ->
+        handshake_coordinator p ~workers ~max_iters ~tol
+          ~label:(label_of_variant variant ~proc:0) result api);
+    for w = 1 to workers do
+      spawn w (fun api ->
+          handshake_worker p ~workers ~label:(label_of_variant variant ~proc:w) w
+            api)
+    done);
+  result
+
+let reference ~variant ?(max_iters = 200) ?(tol = default_tol) (p : Problem.t) =
+  let x = Array.copy p.x0 in
+  let step () = Array.init p.n (fun r -> update_row p (fun j -> x.(j)) r) in
+  match variant with
+  | Barrier_pram ->
+    (* convergence is decided on the pre-install estimate *)
+    let prev = ref None in
+    let iterations = ref 0 in
+    let hit_tol = ref false in
+    let finished = ref false in
+    while not !finished do
+      let cur = Array.copy x in
+      (match !prev with
+      | Some prev_x when max_diff cur prev_x <= tol -> hit_tol := true
+      | Some _ | None -> ());
+      prev := Some cur;
+      if !hit_tol || !iterations >= max_iters then finished := true
+      else begin
+        incr iterations;
+        let temp = step () in
+        Array.blit temp 0 x 0 p.n
+      end
+    done;
+    { x; iterations = !iterations; converged = !hit_tol }
+  | Handshake_causal | Handshake_pram | Handshake_group ->
+    (* convergence is decided on the post-install estimate *)
+    let prev = ref None in
+    let iterations = ref 0 in
+    let hit_tol = ref false in
+    let finished = ref false in
+    while not !finished do
+      incr iterations;
+      let temp = step () in
+      Array.blit temp 0 x 0 p.n;
+      (match !prev with
+      | Some prev_x when max_diff x prev_x <= tol -> hit_tol := true
+      | Some _ | None -> ());
+      prev := Some (Array.copy x);
+      if !hit_tol || !iterations >= max_iters then finished := true
+    done;
+    { x; iterations = !iterations; converged = !hit_tol }
+
+let solver_groups ~procs =
+  [ 0 ] :: List.init (procs - 1) (fun w -> [ 0; w + 1 ])

@@ -1,0 +1,79 @@
+(** Synchronous iterative linear-equation solver (paper Section 5.1).
+
+    A coordinator (process 0) plus workers solve [A x = b] by Jacobi
+    iteration in fixed point. Three variants:
+
+    - {!Barrier_pram} — Figure 2: two barriers split each iteration into
+      a read sub-phase and an install sub-phase; the program is
+      PRAM-consistent, so PRAM reads suffice (Corollary 2).
+    - {!Handshake_causal} — Figure 3: no barriers; the coordinator
+      synchronizes workers through [computed]/[updated] handshake
+      variables and awaits. Causal reads make the execution
+      sequentially consistent (Theorem 1).
+    - {!Handshake_pram} — Figure 3 with reads weakened to PRAM: the
+      paper notes "it is possible to show that inconsistent values of
+      the matrix are read in that case"; this variant exists to
+      demonstrate exactly that (the run stays mixed consistent but can
+      diverge from the sequential reference).
+
+    Both distributed variants match their sequential references exactly
+    (integer arithmetic, identical schedules) when the consistency level
+    is sufficient. *)
+
+module Problem : sig
+  type t = {
+    n : int;
+    a : int array array;  (** fixed-point, diagonally dominant *)
+    b : int array;  (** fixed-point *)
+    x0 : int array;  (** initial estimate *)
+  }
+
+  (** [generate ~seed ~n] builds a random diagonally dominant system. *)
+  val generate : seed:int -> n:int -> t
+end
+
+type variant =
+  | Barrier_pram
+  | Handshake_causal
+  | Handshake_pram
+  | Handshake_group
+      (** Figure 3 with reads labelled [Group [0; self]] — the smallest
+          group that restores sequential consistency, since all handshake
+          causality flows through the coordinator (Section 3.2). Requires
+          a runtime configured with those groups; see
+          {!solver_groups}. *)
+
+val variant_to_string : variant -> string
+
+type result = {
+  x : int array;  (** final estimate, fixed point *)
+  iterations : int;  (** install phases executed *)
+  converged : bool;  (** false when the iteration cap fired *)
+}
+
+(** [launch ~spawn ~procs ~variant ?max_iters ?tol problem] spawns the
+    coordinator (process 0) and [procs - 1] workers on any memory that
+    provides the {!Mc_dsm.Api.t} operations. The returned cell is filled
+    by the coordinator when the computation finishes (i.e. after the
+    engine runs). [tol] is a fixed-point magnitude (default
+    [Fixed.scale / 100]). *)
+val launch :
+  spawn:(int -> (Mc_dsm.Api.t -> unit) -> unit) ->
+  procs:int ->
+  variant:variant ->
+  ?max_iters:int ->
+  ?tol:int ->
+  Problem.t ->
+  result option ref
+
+(** [reference ~variant ?max_iters ?tol problem] is the sequential
+    execution with the same schedule and arithmetic. *)
+val reference : variant:variant -> ?max_iters:int -> ?tol:int -> Problem.t -> result
+
+(** [residual problem x] is the max-norm residual [|b - A x|] in fixed
+    point, for sanity checks. *)
+val residual : Problem.t -> int array -> int
+
+(** [solver_groups ~procs] is the group list a runtime must be configured
+    with to run the {!Handshake_group} variant. *)
+val solver_groups : procs:int -> int list list

@@ -1,0 +1,156 @@
+module Api = Mc_dsm.Api
+
+type impl = Await_based | Lock_based
+
+let impl_to_string = function
+  | Await_based -> "awaits (producer/consumer)"
+  | Lock_based -> "locks + polling"
+
+type params = { items : int; slots : int; work : float }
+type result = { checksum : int; delivered : int }
+
+(* the per-stage transformation; values stay below the runtime's tag
+   range *)
+let transform ~stage v = (v * 31) + stage + 1
+
+let source_item n = (n * 7) + 3
+
+(* stream [s] connects stage [s] (producer) to stage [s+1] (consumer) *)
+let loc_value s n = Printf.sprintf "pv:%d:%d" s n
+let loc_ready s slot = Printf.sprintf "prdy:%d:%d" s slot
+let loc_credit s slot = Printf.sprintf "pcrd:%d:%d" s slot
+let loc_result = "presult"
+let loc_count = "pcount"
+
+(* ------------------------------------------------------------------ *)
+(* Await-based streams                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-slot sequence-number handshake: for item [n] on slot [n mod slots]
+   the producer waits for the consumer's credit of item [n - slots], then
+   writes the value and raises the ready flag to [n + 1] (flag values on
+   one location are strictly increasing, so awaits cannot miss them). *)
+
+let await_produce (api : Api.t) ~params ~stream n v =
+  let slot = n mod params.slots in
+  if n >= params.slots then api.Api.await (loc_credit stream slot) (n - params.slots + 1);
+  api.Api.write (loc_value stream n) v;
+  api.Api.write (loc_ready stream slot) (n + 1)
+
+let await_consume (api : Api.t) ~params ~stream n =
+  let slot = n mod params.slots in
+  api.Api.await (loc_ready stream slot) (n + 1);
+  let v = api.Api.read (loc_value stream n) in
+  api.Api.write (loc_credit stream slot) (n + 1);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Lock-based bounded buffer with polling                              *)
+(* ------------------------------------------------------------------ *)
+
+let lock_of_stream s = "plock:" ^ string_of_int s
+let loc_head s = "phead:" ^ string_of_int s
+let loc_tail s = "ptail:" ^ string_of_int s
+
+(* head/tail counters are encoded as [count * 64 + stream] so every
+   recorded write value stays unique per location across streams *)
+let enc s c = (c * 64) + s
+let dec c = c / 64
+
+let poll_pause = 40.0
+
+let lock_produce (api : Api.t) ~params ~stream n v =
+  let lock = lock_of_stream stream in
+  let rec try_push () =
+    api.Api.write_lock lock;
+    let head = dec (api.Api.read (loc_head stream)) in
+    let tail = dec (api.Api.read (loc_tail stream)) in
+    if head - tail < params.slots then begin
+      api.Api.write (loc_value stream n) v;
+      api.Api.write (loc_head stream) (enc stream (head + 1));
+      api.Api.write_unlock lock
+    end
+    else begin
+      (* buffer full: release and poll again *)
+      api.Api.write_unlock lock;
+      api.Api.compute poll_pause;
+      try_push ()
+    end
+  in
+  try_push ()
+
+let lock_consume (api : Api.t) ~params ~stream n =
+  ignore params;
+  let lock = lock_of_stream stream in
+  let rec try_pop () =
+    api.Api.write_lock lock;
+    let head = dec (api.Api.read (loc_head stream)) in
+    let tail = dec (api.Api.read (loc_tail stream)) in
+    if head > tail then begin
+      let v = api.Api.read (loc_value stream n) in
+      api.Api.write (loc_tail stream) (enc stream (tail + 1));
+      api.Api.write_unlock lock;
+      v
+    end
+    else begin
+      api.Api.write_unlock lock;
+      api.Api.compute poll_pause;
+      try_pop ()
+    end
+  in
+  try_pop ()
+
+(* ------------------------------------------------------------------ *)
+(* Stages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stage ~params ~procs ~impl result s (api : Api.t) =
+  let produce, consume =
+    match impl with
+    | Await_based -> (await_produce, await_consume)
+    | Lock_based -> (lock_produce, lock_consume)
+  in
+  (if s = 0 then
+     (* source *)
+     for n = 0 to params.items - 1 do
+       api.Api.compute params.work;
+       produce api ~params ~stream:0 n (source_item n)
+     done
+   else if s < procs - 1 then
+     for n = 0 to params.items - 1 do
+       let v = consume api ~params ~stream:(s - 1) n in
+       api.Api.compute params.work;
+       produce api ~params ~stream:s n (transform ~stage:s v)
+     done
+   else begin
+     (* sink *)
+     let acc = ref 0 in
+     for n = 0 to params.items - 1 do
+       let v = consume api ~params ~stream:(s - 1) n in
+       api.Api.compute params.work;
+       acc := !acc + transform ~stage:s v
+     done;
+     api.Api.write loc_result !acc;
+     api.Api.write loc_count params.items;
+     result := Some { checksum = !acc; delivered = params.items }
+   end)
+
+let launch ~spawn ~procs ~impl params =
+  if procs < 2 then invalid_arg "Pipeline.launch: need at least two stages";
+  if params.slots < 1 then invalid_arg "Pipeline.launch: need at least one slot";
+  let result = ref None in
+  for s = 0 to procs - 1 do
+    spawn s (fun api -> stage ~params ~procs ~impl result s api)
+  done;
+  result
+
+let reference ~procs params =
+  let acc = ref 0 in
+  for n = 0 to params.items - 1 do
+    let v = ref (source_item n) in
+    for s = 1 to procs - 1 do
+      v := transform ~stage:s !v
+    done;
+    acc := !acc + !v
+  done;
+  { checksum = !acc; delivered = params.items }

@@ -1,0 +1,42 @@
+(** Producer/consumer pipeline (paper Section 1: "The lock and unlock
+    operations are useful for handling competing accesses to shared
+    data, ... and await operations are useful for producer/consumer type
+    of interactions").
+
+    A chain of stages connected by bounded streams: stage 0 produces
+    items, each middle stage transforms them, the last stage folds them
+    into a checksum. Two implementations of the streams:
+
+    - {!Await_based} — the model's intended style: per-slot ready/credit
+      flags driven by awaits; data reads are causal, so the await edge
+      carries the producer's writes to the consumer.
+    - {!Lock_based} — a bounded buffer guarded by a write lock with
+      polling, which is what one writes when awaits are missing: every
+      empty/full check costs a lock round trip.
+
+    Both compute the identical checksum; the await version needs neither
+    polling nor mutual exclusion. *)
+
+type impl = Await_based | Lock_based
+
+val impl_to_string : impl -> string
+
+type params = {
+  items : int;  (** items pushed through the pipeline *)
+  slots : int;  (** stream window size (flow-control credits) *)
+  work : float;  (** simulated compute per item per stage *)
+}
+
+type result = { checksum : int; delivered : int }
+
+(** [launch ~spawn ~procs ~impl params] runs a pipeline of [procs]
+    stages. The cell is filled by the final stage. *)
+val launch :
+  spawn:(int -> (Mc_dsm.Api.t -> unit) -> unit) ->
+  procs:int ->
+  impl:impl ->
+  params ->
+  result option ref
+
+(** [reference ~procs params] computes the expected checksum. *)
+val reference : procs:int -> params -> result

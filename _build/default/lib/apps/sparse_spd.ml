@@ -1,0 +1,146 @@
+type t = {
+  n : int;
+  values : int array array;
+  pattern : bool array array;
+  deps : int array;
+  parent : int array;
+}
+
+(* Fill pattern by clique elimination: eliminating column k turns the set
+   S = { i > k : L[i][k] <> 0 } into a clique. Also yields the elimination
+   tree: parent(k) = min S. *)
+let symbolic ~n pattern =
+  let parent = Array.make n (-1) in
+  for k = 0 to n - 1 do
+    let s = ref [] in
+    for i = n - 1 downto k + 1 do
+      if pattern.(i).(k) then s := i :: !s
+    done;
+    (match !s with
+    | [] -> ()
+    | first :: _ -> parent.(k) <- first);
+    List.iter
+      (fun i -> List.iter (fun j -> if i >= j then pattern.(i).(j) <- true) !s)
+      !s
+  done;
+  let deps = Array.make n 0 in
+  for j = 0 to n - 1 do
+    for k = 0 to j - 1 do
+      if pattern.(j).(k) then deps.(j) <- deps.(j) + 1
+    done
+  done;
+  (deps, parent)
+
+let finish ~n values pattern =
+  let deps, parent = symbolic ~n pattern in
+  { n; values; pattern; deps; parent }
+
+(* make the matrix diagonally dominant, hence SPD *)
+let dominate ~n values pattern =
+  for i = 0 to n - 1 do
+    let row_sum = ref 0 in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let v =
+          if j < i && pattern.(i).(j) then values.(i).(j)
+          else if j > i && pattern.(j).(i) then values.(j).(i)
+          else 0
+        in
+        row_sum := !row_sum + abs v
+      end
+    done;
+    values.(i).(i) <- !row_sum + Fixed.of_float 2.0
+  done
+
+let generate ~seed ~n ~density =
+  if density < 0. || density > 1. then invalid_arg "Sparse_spd.generate: bad density";
+  let rng = Mc_util.Rng.make seed in
+  let pattern = Array.make_matrix n n false in
+  let values = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    pattern.(i).(i) <- true;
+    for j = 0 to i - 1 do
+      if Mc_util.Rng.float rng 1.0 < density then begin
+        pattern.(i).(j) <- true;
+        values.(i).(j) <- Fixed.of_float (Mc_util.Rng.float_in rng (-1.0) 1.0)
+      end
+    done
+  done;
+  dominate ~n values pattern;
+  finish ~n values pattern
+
+let arrow ~seed ~n ~bandwidth =
+  let rng = Mc_util.Rng.make seed in
+  let pattern = Array.make_matrix n n false in
+  let values = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    pattern.(i).(i) <- true;
+    for j = max 0 (i - bandwidth) to i - 1 do
+      pattern.(i).(j) <- true;
+      values.(i).(j) <- Fixed.of_float (Mc_util.Rng.float_in rng (-1.0) 1.0)
+    done
+  done;
+  (* dense last row: the arrowhead *)
+  for j = 0 to n - 2 do
+    pattern.(n - 1).(j) <- true;
+    if values.(n - 1).(j) = 0 then
+      values.(n - 1).(j) <- Fixed.of_float (Mc_util.Rng.float_in rng (-0.5) 0.5)
+  done;
+  dominate ~n values pattern;
+  finish ~n values pattern
+
+let nnz t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    for j = 0 to i do
+      if t.pattern.(i).(j) then incr count
+    done
+  done;
+  !count
+
+let column t j =
+  let rows = ref [] in
+  for i = t.n - 1 downto j do
+    if t.pattern.(i).(j) then rows := i :: !rows
+  done;
+  !rows
+
+let factor_reference t =
+  let n = t.n in
+  let l = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      if t.pattern.(i).(j) then l.(i).(j) <- t.values.(i).(j)
+    done
+  done;
+  for j = 0 to n - 1 do
+    l.(j).(j) <- Fixed.sqrt l.(j).(j);
+    for i = j + 1 to n - 1 do
+      if t.pattern.(i).(j) then l.(i).(j) <- Fixed.div l.(i).(j) l.(j).(j)
+    done;
+    for k = j + 1 to n - 1 do
+      if t.pattern.(k).(j) then
+        for i = k to n - 1 do
+          if t.pattern.(i).(j) then
+            l.(i).(k) <- l.(i).(k) - Fixed.mul l.(i).(j) l.(k).(j)
+        done
+    done
+  done;
+  l
+
+let verify t l =
+  let n = t.n in
+  let err = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let expected =
+        if t.pattern.(i).(j) then t.values.(i).(j) else 0
+      in
+      let sum = ref 0 in
+      for k = 0 to j do
+        sum := !sum + Fixed.mul l.(i).(k) l.(j).(k)
+      done;
+      err := max !err (abs (!sum - expected))
+    done
+  done;
+  !err

@@ -1,0 +1,40 @@
+(** Sparse symmetric positive-definite problems for Cholesky
+    factorization (paper Section 5.3).
+
+    Provides random diagonally-dominant SPD matrix generation, symbolic
+    factorization (fill pattern via elimination cliques), the elimination
+    tree, and per-column dependency counts — the [count] array of
+    Figure 5. *)
+
+type t = {
+  n : int;
+  values : int array array;  (** dense storage of the lower triangle, fixed point *)
+  pattern : bool array array;  (** fill pattern of L (lower triangle, includes diagonal) *)
+  deps : int array;  (** deps.(j) = number of columns k < j with L[j][k] in the pattern *)
+  parent : int array;  (** elimination tree parent, -1 for roots *)
+}
+
+(** [generate ~seed ~n ~density] builds a random SPD matrix with roughly
+    [density] fraction of off-diagonal entries, then computes its fill
+    pattern symbolically. [density] in [0, 1]. *)
+val generate : seed:int -> n:int -> density:float -> t
+
+(** [arrow ~n ~bandwidth] builds a structured problem: a banded matrix
+    plus a dense last row/column (an "arrowhead", a classic high-fill
+    shape). *)
+val arrow : seed:int -> n:int -> bandwidth:int -> t
+
+(** [nnz t] counts pattern entries of L. *)
+val nnz : t -> int
+
+(** [column t j] lists the pattern rows of column [j] (ascending, starts
+    with [j]). *)
+val column : t -> int -> int list
+
+(** [factor_reference t] computes the Cholesky factor sequentially in
+    fixed point (right-looking), returning the dense lower triangle. *)
+val factor_reference : t -> int array array
+
+(** [verify t l] checks [l * l^T] approximates the original matrix within
+    fixed-point tolerance; returns the max absolute error. *)
+val verify : t -> int array array -> int

@@ -1,0 +1,1 @@
+lib/baselines/sc_invalidate.ml: Array Hashtbl List Mc_dsm Mc_history Mc_net Mc_sim Mc_util Printf String

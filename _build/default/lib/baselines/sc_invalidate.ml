@@ -1,0 +1,588 @@
+module Engine = Mc_sim.Engine
+module Network = Mc_net.Network
+module Latency = Mc_net.Latency
+module Op = Mc_history.Op
+module Recorder = Mc_history.Recorder
+module Summary = Mc_util.Stats.Summary
+
+type msg =
+  (* coherence *)
+  | Read_req of { proc : int; loc : Op.location }
+  | Read_data of { loc : Op.location; numeric : int; tag : int }
+  | Write_req of { proc : int; loc : Op.location }
+  | Write_grant of { loc : Op.location; numeric : int; tag : int }
+  | Inv_req of { loc : Op.location }
+  | Inv_ack of { proc : int; loc : Op.location }
+  | Fetch_req of { loc : Op.location; downgrade : bool }
+  | Fetch_reply of { proc : int; loc : Op.location; numeric : int; tag : int }
+  (* synchronization, centralized at node 0 *)
+  | Lock_req of { proc : int; lock : Op.lock_name; write : bool }
+  | Lock_grant of { seq : int }
+  | Unlock_req of { proc : int; lock : Op.lock_name; write : bool }
+  | Unlock_ack of { seq : int }
+  | Bar_arrive of { proc : int; episode : int }
+  | Bar_release
+
+let kind = function
+  | Read_req _ -> "read_req"
+  | Read_data _ -> "read_data"
+  | Write_req _ -> "write_req"
+  | Write_grant _ -> "write_grant"
+  | Inv_req _ -> "inv_req"
+  | Inv_ack _ -> "inv_ack"
+  | Fetch_req _ -> "fetch_req"
+  | Fetch_reply _ -> "fetch_reply"
+  | Lock_req _ -> "lock_req"
+  | Lock_grant _ -> "lock_grant"
+  | Unlock_req _ -> "unlock_req"
+  | Unlock_ack _ -> "unlock_ack"
+  | Bar_arrive _ -> "bar_arrive"
+  | Bar_release -> "bar_release"
+
+type cache_state = Modified | Shared
+
+type cache_line = {
+  mutable state : cache_state;
+  mutable numeric : int;
+  mutable tag : int;
+}
+
+(* A directory transaction in flight for one location. *)
+type txn =
+  | Read_txn of { requester : int }
+  | Write_txn of { requester : int; mutable pending_acks : int }
+
+type dir_entry = {
+  mutable owner : int option;
+  mutable sharers : int list;
+  mutable mem_numeric : int;
+  mutable mem_tag : int;
+  mutable busy : txn option;
+  mutable queue : txn list;
+}
+
+type lock_state = {
+  mutable writer : int option;
+  mutable readers : int list;
+  mutable lqueue : (int * bool) list;
+  mutable seq : int;
+}
+
+type t = {
+  engine : Engine.t;
+  procs : int;
+  op_cost : float;
+  poll_interval : float;
+  net : msg Network.t;
+  directories : (Op.location, dir_entry) Hashtbl.t array; (* per home node *)
+  caches : (Op.location, cache_line) Hashtbl.t array; (* per client *)
+  locks : (Op.lock_name, lock_state) Hashtbl.t; (* at node 0 *)
+  mutable bar_count : int;
+  mutable bar_episode : int;
+  replies : (msg -> unit) option array;
+  recorder : Recorder.t option;
+  mutable tag_counter : int;
+  waits : (string, Summary.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let home t loc = Hashtbl.hash loc mod t.procs
+
+let dir_entry t node loc =
+  match Hashtbl.find_opt t.directories.(node) loc with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        owner = None;
+        sharers = [];
+        mem_numeric = 0;
+        mem_tag = 0;
+        busy = None;
+        queue = [];
+      }
+    in
+    Hashtbl.add t.directories.(node) loc e;
+    e
+
+let debug = ref false
+
+let msg_to_string = function
+  | Read_req { proc; loc } -> Printf.sprintf "Read_req p%d %s" proc loc
+  | Read_data { loc; _ } -> Printf.sprintf "Read_data %s" loc
+  | Write_req { proc; loc } -> Printf.sprintf "Write_req p%d %s" proc loc
+  | Write_grant { loc; _ } -> Printf.sprintf "Write_grant %s" loc
+  | Inv_req { loc } -> Printf.sprintf "Inv_req %s" loc
+  | Inv_ack { proc; loc } -> Printf.sprintf "Inv_ack p%d %s" proc loc
+  | Fetch_req { loc; downgrade } -> Printf.sprintf "Fetch_req %s dg=%b" loc downgrade
+  | Fetch_reply { proc; loc; _ } -> Printf.sprintf "Fetch_reply p%d %s" proc loc
+  | _ -> "sync"
+
+let send t ~src ~dst msg =
+  if !debug then Printf.printf "  [%8.1f] %d -> %d : %s\n" (Engine.now t.engine) src dst (msg_to_string msg);
+  Network.send t.net ~src ~dst ~kind:(kind msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Directory engine (runs at each location's home node)                *)
+(* ------------------------------------------------------------------ *)
+
+let rec start_txn t node loc e txn =
+  match txn with
+  | Read_txn { requester } -> (
+    match e.owner with
+    | Some o when o <> requester ->
+      e.busy <- Some txn;
+      send t ~src:node ~dst:o (Fetch_req { loc; downgrade = true })
+    | Some _ | None ->
+      (* serve directly from memory *)
+      if not (List.mem requester e.sharers) then e.sharers <- requester :: e.sharers;
+      send t ~src:node ~dst:requester
+        (Read_data { loc; numeric = e.mem_numeric; tag = e.mem_tag }))
+  | Write_txn w ->
+    e.busy <- Some txn;
+    let invalidations = ref 0 in
+    (match e.owner with
+    | Some o when o <> w.requester ->
+      incr invalidations;
+      send t ~src:node ~dst:o (Fetch_req { loc; downgrade = false })
+    | Some _ | None -> ());
+    List.iter
+      (fun s ->
+        if s <> w.requester then begin
+          incr invalidations;
+          send t ~src:node ~dst:s (Inv_req { loc })
+        end)
+      e.sharers;
+    w.pending_acks <- !invalidations;
+    if !invalidations = 0 then finish_write t node loc e w.requester
+
+and finish_write t node loc e requester =
+  e.owner <- Some requester;
+  e.sharers <- [];
+  e.busy <- None;
+  send t ~src:node ~dst:requester
+    (Write_grant { loc; numeric = e.mem_numeric; tag = e.mem_tag });
+  next_txn t node loc e
+
+and finish_read t node loc e requester =
+  e.busy <- None;
+  if not (List.mem requester e.sharers) then e.sharers <- requester :: e.sharers;
+  send t ~src:node ~dst:requester
+    (Read_data { loc; numeric = e.mem_numeric; tag = e.mem_tag });
+  next_txn t node loc e
+
+and next_txn t node loc e =
+  match e.queue with
+  | [] -> ()
+  | txn :: rest ->
+    e.queue <- rest;
+    start_txn t node loc e txn
+
+let submit_txn t node loc txn =
+  let e = dir_entry t node loc in
+  match e.busy with
+  | Some _ -> e.queue <- e.queue @ [ txn ]
+  | None -> start_txn t node loc e txn
+
+let handle_fetch_reply t node ~loc ~proc ~numeric ~tag =
+  let e = dir_entry t node loc in
+  e.mem_numeric <- numeric;
+  e.mem_tag <- tag;
+  match e.busy with
+  | Some (Read_txn { requester }) ->
+    (* previous owner keeps a shared copy *)
+    e.owner <- None;
+    e.sharers <- [ proc ];
+    finish_read t node loc e requester
+  | Some (Write_txn w) ->
+    e.owner <- None;
+    w.pending_acks <- w.pending_acks - 1;
+    if w.pending_acks = 0 then finish_write t node loc e w.requester
+  | None -> invalid_arg "Sc_invalidate: fetch reply with no transaction"
+
+let handle_inv_ack t node ~loc ~proc =
+  let e = dir_entry t node loc in
+  e.sharers <- List.filter (fun s -> s <> proc) e.sharers;
+  match e.busy with
+  | Some (Write_txn w) ->
+    w.pending_acks <- w.pending_acks - 1;
+    if w.pending_acks = 0 then finish_write t node loc e w.requester
+  | Some (Read_txn _) | None ->
+    invalid_arg "Sc_invalidate: invalidation ack with no write transaction"
+
+(* ------------------------------------------------------------------ *)
+(* Lock / barrier manager (node 0)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lock_state t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None ->
+    let s = { writer = None; readers = []; lqueue = []; seq = 0 } in
+    Hashtbl.add t.locks lock s;
+    s
+
+let next_seq s =
+  let seq = s.seq in
+  s.seq <- seq + 1;
+  seq
+
+let rec try_grant t s =
+  match s.lqueue with
+  | [] -> ()
+  | (proc, true) :: rest ->
+    if s.writer = None && s.readers = [] then begin
+      s.lqueue <- rest;
+      s.writer <- Some proc;
+      send t ~src:0 ~dst:proc (Lock_grant { seq = next_seq s })
+    end
+  | (proc, false) :: rest ->
+    if s.writer = None then begin
+      s.lqueue <- rest;
+      s.readers <- proc :: s.readers;
+      send t ~src:0 ~dst:proc (Lock_grant { seq = next_seq s });
+      try_grant t s
+    end
+
+let handle_sync t msg =
+  match msg with
+  | Lock_req { proc; lock; write } ->
+    let s = lock_state t lock in
+    s.lqueue <- s.lqueue @ [ (proc, write) ];
+    try_grant t s
+  | Unlock_req { proc; lock; write } ->
+    let s = lock_state t lock in
+    (if write then s.writer <- None
+     else
+       let rec remove_one = function
+         | [] -> []
+         | p :: rest -> if p = proc then rest else p :: remove_one rest
+       in
+       s.readers <- remove_one s.readers);
+    send t ~src:0 ~dst:proc (Unlock_ack { seq = next_seq s });
+    try_grant t s
+  | Bar_arrive { proc = _; episode } ->
+    if episode <> t.bar_episode then
+      invalid_arg "Sc_invalidate: barrier episode mismatch";
+    t.bar_count <- t.bar_count + 1;
+    if t.bar_count = t.procs then begin
+      t.bar_count <- 0;
+      t.bar_episode <- episode + 1;
+      for dst = 0 to t.procs - 1 do
+        send t ~src:0 ~dst Bar_release
+      done
+    end
+  | _ -> invalid_arg "Sc_invalidate: unexpected sync message"
+
+(* ------------------------------------------------------------------ *)
+(* Node message handler                                                *)
+(* ------------------------------------------------------------------ *)
+
+let resume_client t node msg =
+  match t.replies.(node) with
+  | Some resume ->
+    t.replies.(node) <- None;
+    resume msg
+  | None -> invalid_arg "Sc_invalidate: reply with no pending request"
+
+let handle_message t node ~src msg =
+  ignore src;
+  match msg with
+  | Read_req { proc; loc } -> submit_txn t node loc (Read_txn { requester = proc })
+  | Write_req { proc; loc } ->
+    submit_txn t node loc (Write_txn { requester = proc; pending_acks = 0 })
+  | Fetch_reply { proc; loc; numeric; tag } ->
+    handle_fetch_reply t node ~loc ~proc ~numeric ~tag
+  | Inv_ack { proc; loc } -> handle_inv_ack t node ~loc ~proc
+  | Inv_req { loc } ->
+    Hashtbl.remove t.caches.(node) loc;
+    send t ~src:node ~dst:(home t loc) (Inv_ack { proc = node; loc })
+  | Fetch_req { loc; downgrade } -> (
+    match Hashtbl.find_opt t.caches.(node) loc with
+    | Some line ->
+      let reply =
+        Fetch_reply { proc = node; loc; numeric = line.numeric; tag = line.tag }
+      in
+      if downgrade then line.state <- Shared
+      else Hashtbl.remove t.caches.(node) loc;
+      send t ~src:node ~dst:(home t loc) reply
+    | None -> invalid_arg "Sc_invalidate: fetch for a line we do not hold")
+  | Read_data { loc; numeric; tag } ->
+    (* install the line inside the delivery handler, not in the resumed
+       fiber: a Fetch_req or Inv_req delivered at the same instant must
+       already see it (the home serializes them after this grant) *)
+    Hashtbl.replace t.caches.(node) loc { state = Shared; numeric; tag };
+    resume_client t node msg
+  | Write_grant { loc; numeric; tag } ->
+    Hashtbl.replace t.caches.(node) loc { state = Modified; numeric; tag };
+    resume_client t node msg
+  | Lock_grant _ | Unlock_ack _ | Bar_release -> resume_client t node msg
+  | Lock_req _ | Unlock_req _ | Bar_arrive _ -> handle_sync t msg
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create engine ?latency ?(record = false) ?(op_cost = 0.1) ?(poll_interval = 10.)
+    ?(send_cost = 2.0) ?(byte_cost = 0.02) ~procs () =
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Latency.uniform (Mc_util.Rng.make 0xC0FFEE) ~lo:30. ~hi:70.
+  in
+  let net =
+    Network.create engine ~nodes:procs ~latency ~send_cost ~byte_cost ()
+  in
+  let t =
+    {
+      engine;
+      procs;
+      op_cost;
+      poll_interval;
+      net;
+      directories = Array.init procs (fun _ -> Hashtbl.create 32);
+      caches = Array.init procs (fun _ -> Hashtbl.create 32);
+      locks = Hashtbl.create 8;
+      bar_count = 0;
+      bar_episode = 0;
+      replies = Array.make procs None;
+      recorder = (if record then Some (Recorder.create ~procs) else None);
+      tag_counter = 0;
+      waits = Hashtbl.create 8;
+      hits = 0;
+      misses = 0;
+    }
+  in
+  for node = 0 to procs - 1 do
+    Network.set_handler net node (fun ~src msg -> handle_message t node ~src msg)
+  done;
+  t
+
+let note_wait t name dt =
+  let s =
+    match Hashtbl.find_opt t.waits name with
+    | Some s -> s
+    | None ->
+      let s = Summary.create () in
+      Hashtbl.add t.waits name s;
+      s
+  in
+  Summary.add s dt
+
+let timed t name f =
+  let t0 = Engine.now t.engine in
+  let r = f () in
+  note_wait t name (Engine.now t.engine -. t0);
+  r
+
+let rpc t client msg =
+  send t ~src:client ~dst:(match msg with
+      | Read_req { loc; _ } | Write_req { loc; _ } -> home t loc
+      | Lock_req _ | Unlock_req _ | Bar_arrive _ -> 0
+      | _ -> invalid_arg "Sc_invalidate.rpc: not a request")
+    msg;
+  Engine.suspend t.engine (fun resume ->
+      if t.replies.(client) <> None then
+        invalid_arg "Sc_invalidate: overlapping requests from one client";
+      t.replies.(client) <- Some resume)
+
+let recorded_value ~numeric ~tag = if tag <> 0 then tag else numeric
+
+let fresh_tag t client =
+  t.tag_counter <- t.tag_counter + 1;
+  ((client + 1) lsl 40) lor t.tag_counter
+
+let record_span t client ~sync_seq kind_of =
+  match t.recorder with
+  | Some r ->
+    let tok = Recorder.start r ~proc:client in
+    fun result ->
+      ignore (Recorder.finish r tok ?sync_seq:(sync_seq result) (kind_of result))
+  | None -> fun _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Client operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let read_line t client loc =
+  match Hashtbl.find_opt t.caches.(client) loc with
+  | Some line ->
+    t.hits <- t.hits + 1;
+    (line.numeric, line.tag)
+  | None -> (
+    t.misses <- t.misses + 1;
+    (* the delivery handler installed the line; the returned values are
+       the linearized ones even if the line was invalidated again before
+       this fiber resumed *)
+    match rpc t client (Read_req { proc = client; loc }) with
+    | Read_data { numeric; tag; _ } -> (numeric, tag)
+    | _ -> assert false)
+
+(* obtain an exclusive (Modified) line, returning it for mutation. The
+   grant installs the line in the delivery handler; if a concurrent
+   transaction stole it again before this fiber resumed, retry - the
+   standard cache-controller race resolution. *)
+let rec exclusive_line t client loc =
+  match Hashtbl.find_opt t.caches.(client) loc with
+  | Some ({ state = Modified; _ } as line) -> line
+  | Some _ | None -> (
+    match rpc t client (Write_req { proc = client; loc }) with
+    | Write_grant _ -> exclusive_line t client loc
+    | _ -> assert false)
+
+let api t client : Mc_dsm.Api.t =
+  let charge () = Engine.delay t.engine t.op_cost in
+  let read ?(label = Op.Causal) loc =
+    charge ();
+    timed t "read" (fun () ->
+        let finish =
+          record_span t client
+            ~sync_seq:(fun _ -> None)
+            (fun (numeric, tag) ->
+              Op.Read { loc; label; value = recorded_value ~numeric ~tag })
+        in
+        let numeric, tag = read_line t client loc in
+        finish (numeric, tag);
+        numeric)
+  in
+  let write_tagged loc v tag =
+    timed t "write" (fun () ->
+        let finish =
+          record_span t client
+            ~sync_seq:(fun _ -> None)
+            (fun () -> Op.Write { loc; value = recorded_value ~numeric:v ~tag })
+        in
+        let line = exclusive_line t client loc in
+        line.numeric <- v;
+        line.tag <- tag;
+        finish ())
+  in
+  let write loc v =
+    charge ();
+    write_tagged loc v (fresh_tag t client)
+  in
+  let init_counter loc v =
+    charge ();
+    write_tagged loc v 0
+  in
+  let decrement loc ~amount =
+    charge ();
+    timed t "decrement" (fun () ->
+        let finish =
+          record_span t client
+            ~sync_seq:(fun _ -> None)
+            (fun observed -> Op.Decrement { loc; amount; observed })
+        in
+        let line = exclusive_line t client loc in
+        let observed = line.numeric in
+        line.numeric <- observed - amount;
+        finish observed)
+  in
+  let lock_op ~write:w ~acquire lock =
+    charge ();
+    let name =
+      match w, acquire with
+      | true, true -> "write_lock"
+      | true, false -> "write_unlock"
+      | false, true -> "read_lock"
+      | false, false -> "read_unlock"
+    in
+    timed t name (fun () ->
+        let finish =
+          record_span t client
+            ~sync_seq:(fun seq -> Some seq)
+            (fun _seq ->
+              match w, acquire with
+              | true, true -> Op.Write_lock lock
+              | true, false -> Op.Write_unlock lock
+              | false, true -> Op.Read_lock lock
+              | false, false -> Op.Read_unlock lock)
+        in
+        let msg =
+          if acquire then Lock_req { proc = client; lock; write = w }
+          else Unlock_req { proc = client; lock; write = w }
+        in
+        match rpc t client msg with
+        | Lock_grant { seq } | Unlock_ack { seq } -> finish seq
+        | _ -> assert false)
+  in
+  let episode = ref 0 in
+  let barrier () =
+    charge ();
+    timed t "barrier" (fun () ->
+        let k = !episode in
+        incr episode;
+        let finish =
+          record_span t client ~sync_seq:(fun _ -> None) (fun () -> Op.Barrier k)
+        in
+        match rpc t client (Bar_arrive { proc = client; episode = k }) with
+        | Bar_release -> finish ()
+        | _ -> assert false)
+  in
+  let await loc v =
+    charge ();
+    timed t "await" (fun () ->
+        let finish =
+          record_span t client
+            ~sync_seq:(fun _ -> None)
+            (fun (numeric, tag) ->
+              Op.Await { loc; value = recorded_value ~numeric ~tag })
+        in
+        (* poll through the cache: hits are local; an invalidation makes
+           the next poll fetch fresh data *)
+        let rec poll () =
+          let numeric, tag = read_line t client loc in
+          if numeric = v then finish (numeric, tag)
+          else begin
+            Engine.delay t.engine t.poll_interval;
+            poll ()
+          end
+        in
+        poll ())
+  in
+  {
+    Mc_dsm.Api.proc_id = client;
+    n_procs = t.procs;
+    read;
+    write;
+    init_counter;
+    decrement;
+    read_lock = lock_op ~write:false ~acquire:true;
+    read_unlock = lock_op ~write:false ~acquire:false;
+    write_lock = lock_op ~write:true ~acquire:true;
+    write_unlock = lock_op ~write:true ~acquire:false;
+    barrier;
+    await;
+    compute = (fun cost -> Engine.delay t.engine cost);
+  }
+
+let spawn t i f =
+  Engine.spawn t.engine ~name:(Printf.sprintf "inv-client-%d" i) (fun () ->
+      f (api t i))
+
+let run t = Engine.run t.engine
+
+let history t =
+  match t.recorder with
+  | Some r -> Recorder.history r
+  | None -> invalid_arg "Sc_invalidate.history: recording is disabled"
+
+let peek t loc =
+  let e = dir_entry t (home t loc) loc in
+  match e.owner with
+  | Some o -> (
+    match Hashtbl.find_opt t.caches.(o) loc with
+    | Some line -> line.numeric
+    | None -> e.mem_numeric)
+  | None -> e.mem_numeric
+
+let messages_sent t = Network.messages_sent t.net
+let bytes_sent t = Network.bytes_sent t.net
+
+let wait_summaries t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.waits []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let cache_hits t = t.hits
+let cache_misses t = t.misses

@@ -1,0 +1,13 @@
+type t = { mutable time : int }
+
+let create () = { time = 0 }
+
+let tick t =
+  t.time <- t.time + 1;
+  t.time
+
+let observe t remote =
+  t.time <- max t.time remote + 1;
+  t.time
+
+let read t = t.time

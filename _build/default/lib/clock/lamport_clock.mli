@@ -1,0 +1,19 @@
+(** Lamport logical clocks.
+
+    Used by the central-serializer SC baseline to order operations and by
+    tests as a lightweight happened-before witness. *)
+
+type t
+
+val create : unit -> t
+
+(** [tick t] advances the local clock for an internal or send event and
+    returns the new timestamp. *)
+val tick : t -> int
+
+(** [observe t remote] merges a received timestamp ([max] + 1 rule) and
+    returns the new local time. *)
+val observe : t -> int -> int
+
+(** [read t] is the current value without advancing. *)
+val read : t -> int

@@ -1,0 +1,67 @@
+(* Immutable int-array representation. Clocks are small (one slot per
+   process), so copying on update is cheap and removes aliasing bugs. *)
+
+type t = int array
+
+let create n =
+  if n < 0 then invalid_arg "Vector_clock.create: negative size";
+  Array.make n 0
+
+let size = Array.length
+
+let check t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg (Printf.sprintf "Vector_clock: index %d out of range" i)
+
+let get t i =
+  check t i;
+  t.(i)
+
+let set t i v =
+  check t i;
+  let r = Array.copy t in
+  r.(i) <- v;
+  r
+
+let tick t i = set t i (get t i + 1)
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.merge: size mismatch";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+type order = Equal | Before | After | Concurrent
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.leq: size mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let dominates a b = leq b a
+
+let equal a b = a = b
+
+let compare_clocks a b =
+  let ab = leq a b and ba = leq b a in
+  match ab, ba with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let deliverable ~sender msg local =
+  if Array.length msg <> Array.length local then
+    invalid_arg "Vector_clock.deliverable: size mismatch";
+  let ok = ref (msg.(sender) = local.(sender) + 1) in
+  Array.iteri (fun k x -> if k <> sender && x > local.(k) then ok := false) msg;
+  !ok
+
+let copy = Array.copy
+let to_list = Array.to_list
+let of_list = Array.of_list
+
+let pp fmt t =
+  Format.fprintf fmt "[%s]"
+    (String.concat ";" (List.map string_of_int (to_list t)))

@@ -1,0 +1,51 @@
+(** Vector clocks over a fixed set of processes [0 .. n-1].
+
+    Used by the DSM layer to timestamp updates for causal delivery
+    (Section 6 of the paper: "Each process maintains a vector timestamp in
+    order to define the causality between operations"). *)
+
+type t
+
+(** [create n] is the zero vector over [n] processes. *)
+val create : int -> t
+
+(** [size t] is the number of processes. *)
+val size : t -> int
+
+(** [get t i] is component [i]. *)
+val get : t -> int -> int
+
+(** [set t i v] replaces component [i] (returns a new clock). *)
+val set : t -> int -> int -> t
+
+(** [tick t i] increments component [i] (returns a new clock). *)
+val tick : t -> int -> t
+
+(** [merge a b] is the component-wise maximum. *)
+val merge : t -> t -> t
+
+(** Pointwise comparison results. *)
+type order = Equal | Before | After | Concurrent
+
+(** [compare_clocks a b] is [Before] when [a <= b] pointwise with [a <> b],
+    [After] symmetrically, [Equal] on equality, [Concurrent] otherwise. *)
+val compare_clocks : t -> t -> order
+
+(** [leq a b] is pointwise less-or-equal. *)
+val leq : t -> t -> bool
+
+(** [dominates a b] is [leq b a]. *)
+val dominates : t -> t -> bool
+
+(** [deliverable ~sender msg local] implements the causal-broadcast
+    delivery condition: message timestamped [msg] from process [sender]
+    is deliverable at a process with clock [local] iff
+    [msg.(sender) = local.(sender) + 1] and [msg.(k) <= local.(k)] for
+    all [k <> sender]. *)
+val deliverable : sender:int -> t -> t -> bool
+
+val equal : t -> t -> bool
+val copy : t -> t
+val to_list : t -> int list
+val of_list : int list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/consistency/causal.mli: Format Mc_history Read_rule

@@ -1,0 +1,1 @@
+lib/consistency/commute.ml: Array Causal Format List Mc_history Mc_util

@@ -1,0 +1,1 @@
+lib/consistency/commute.mli: Causal Format Mc_history

@@ -1,0 +1,1 @@
+lib/consistency/group.mli: Format Mc_history Read_rule

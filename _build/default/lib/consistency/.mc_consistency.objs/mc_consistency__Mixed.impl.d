@@ -1,0 +1,1 @@
+lib/consistency/mixed.ml: Array Causal Format Group List Mc_history Pram Read_rule

@@ -1,0 +1,1 @@
+lib/consistency/mixed.mli: Format Mc_history Read_rule

@@ -1,0 +1,1 @@
+lib/consistency/pram.ml: Array Format List Mc_history Read_rule

@@ -1,0 +1,1 @@
+lib/consistency/pram.mli: Format Mc_history Read_rule

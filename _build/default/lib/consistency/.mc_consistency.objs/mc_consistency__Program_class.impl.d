@@ -1,0 +1,1 @@
+lib/consistency/program_class.ml: Array Hashtbl List Mc_history Option

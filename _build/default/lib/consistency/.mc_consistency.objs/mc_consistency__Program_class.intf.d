@@ -1,0 +1,1 @@
+lib/consistency/program_class.mli: Mc_history

@@ -1,0 +1,1 @@
+lib/consistency/read_rule.ml: Array Format List Mc_history Mc_util

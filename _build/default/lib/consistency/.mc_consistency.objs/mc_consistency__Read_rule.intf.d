@@ -1,0 +1,1 @@
+lib/consistency/read_rule.mli: Format Mc_history Mc_util

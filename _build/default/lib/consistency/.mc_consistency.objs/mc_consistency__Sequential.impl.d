@@ -1,0 +1,1 @@
+lib/consistency/sequential.ml: Array Buffer Hashtbl List Mc_history Mc_util Option Printf

@@ -1,0 +1,1 @@
+lib/consistency/sequential.mli: Mc_history

@@ -1,0 +1,26 @@
+module History = Mc_history.History
+module Op = Mc_history.Op
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+let verdict h ~read_id =
+  let proc = (History.op h read_id).Op.proc in
+  Read_rule.check h (History.causal_relation h proc) ~read_id
+
+let is_causal_read h ~read_id = verdict h ~read_id = Read_rule.Valid
+
+let failures h =
+  let acc = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      if Op.is_memory_read o then
+        match verdict h ~read_id:o.id with
+        | Read_rule.Valid -> ()
+        | v -> acc := { read_id = o.id; verdict = v } :: !acc)
+    (History.ops h);
+  List.rev !acc
+
+let is_causal_history h = failures h = []
+
+let pp_failure fmt { read_id; verdict } =
+  Format.fprintf fmt "read %d: %a" read_id Read_rule.pp_verdict verdict

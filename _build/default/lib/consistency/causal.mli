@@ -1,0 +1,24 @@
+(** Causal memory checking (Definition 2).
+
+    A history is causal when every memory read is a causal read — i.e.
+    valid under {!Read_rule} with respect to [⇝i,C], the causality
+    relation observable to the reading process. *)
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+(** [is_causal_read h ~read_id] checks one read against Definition 2. *)
+val is_causal_read : Mc_history.History.t -> read_id:int -> bool
+
+(** [verdict h ~read_id] is the detailed outcome for one read. *)
+val verdict : Mc_history.History.t -> read_id:int -> Read_rule.verdict
+
+(** [failures h] checks every memory read (regardless of its label) and
+    returns those that are not causal reads. *)
+val failures : Mc_history.History.t -> failure list
+
+(** [is_causal_history h] is true when all reads are causal reads
+    ("a history in which all reads are causal reads is called a causal
+    history"). *)
+val is_causal_history : Mc_history.History.t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

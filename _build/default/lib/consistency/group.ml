@@ -1,0 +1,26 @@
+module History = Mc_history.History
+module Op = Mc_history.Op
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+let verdict h ~read_id ~group =
+  let reader = (History.op h read_id).Op.proc in
+  Read_rule.check h (History.group_relation h ~reader ~group) ~read_id
+
+let is_group_read h ~read_id ~group = verdict h ~read_id ~group = Read_rule.Valid
+
+let failures h =
+  let acc = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Read { label = Op.Group group; _ } -> (
+        match verdict h ~read_id:o.id ~group with
+        | Read_rule.Valid -> ()
+        | v -> acc := { read_id = o.id; verdict = v } :: !acc)
+      | _ -> ())
+    (History.ops h);
+  List.rev !acc
+
+let pp_failure fmt { read_id; verdict } =
+  Format.fprintf fmt "group read %d: %a" read_id Read_rule.pp_verdict verdict

@@ -1,0 +1,24 @@
+(** Group-consistency checking — the Section-3.2 generalization.
+
+    A group read by process [i] with group [G] (with [i ∈ G]) is valid
+    when it satisfies the {!Read_rule} with respect to [⇝i,G]
+    ({!Mc_history.History.group_relation}): causality is maintained
+    across the members of [G] and reduces to FIFO order towards
+    non-members. [G = [i]] is exactly a PRAM read; [G] = all processes is
+    exactly a causal read — "PRAM reads and causal reads form the two
+    end points of the spectrum". *)
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+(** [verdict h ~read_id ~group] checks one read against the group rule
+    for the given member set (the reading process is taken from the
+    operation and must belong to [group]). *)
+val verdict : Mc_history.History.t -> read_id:int -> group:int list -> Read_rule.verdict
+
+val is_group_read : Mc_history.History.t -> read_id:int -> group:int list -> bool
+
+(** [failures h] checks every [Group]-labelled read against its own
+    recorded group. *)
+val failures : Mc_history.History.t -> failure list
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,33 @@
+module History = Mc_history.History
+module Op = Mc_history.Op
+
+type failure = { read_id : int; label : Op.label; verdict : Read_rule.verdict }
+
+let failures h =
+  let acc = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Read { label; _ } -> (
+        let v =
+          match label with
+          | Op.PRAM -> Pram.verdict h ~read_id:o.id
+          | Op.Causal -> Causal.verdict h ~read_id:o.id
+          | Op.Group group -> Group.verdict h ~read_id:o.id ~group
+        in
+        match v with
+        | Read_rule.Valid -> ()
+        | v -> acc := { read_id = o.id; label; verdict = v } :: !acc)
+      | _ -> ())
+    (History.ops h);
+  List.rev !acc
+
+let is_mixed_consistent h = failures h = []
+
+let pp_failure fmt { read_id; label; verdict } =
+  Format.fprintf fmt "%s read %d: %a"
+    (match label with
+    | Op.PRAM -> "PRAM"
+    | Op.Causal -> "causal"
+    | Op.Group _ -> "group")
+    read_id Read_rule.pp_verdict verdict

@@ -1,0 +1,18 @@
+(** Mixed consistency checking (Definition 4).
+
+    A history is mixed consistent when every read labelled PRAM is a PRAM
+    read and every read labelled Causal is a causal read. *)
+
+type failure = {
+  read_id : int;
+  label : Mc_history.Op.label;
+  verdict : Read_rule.verdict;
+}
+
+(** [failures h] checks each read against the rule selected by its
+    label. *)
+val failures : Mc_history.History.t -> failure list
+
+val is_mixed_consistent : Mc_history.History.t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,19 @@
+(** PRAM memory checking (Definition 3).
+
+    A read is a PRAM read when it is valid under {!Read_rule} with respect
+    to [⇝i,P] — the PRAM order of the reading process, built from the
+    transitive reduction of the synchronization orders restricted to edges
+    involving that process. *)
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+val is_pram_read : Mc_history.History.t -> read_id:int -> bool
+val verdict : Mc_history.History.t -> read_id:int -> Read_rule.verdict
+
+(** [failures h] checks every memory read against the PRAM rule. *)
+val failures : Mc_history.History.t -> failure list
+
+(** [is_pram_history h] is true when all reads are PRAM reads. *)
+val is_pram_history : Mc_history.History.t -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,69 @@
+(** Program-class checkers for the two corollaries of Section 4.
+
+    Corollary 1: any history of an {e entry-consistent} program in which
+    all reads of shared variables are causal is sequentially consistent.
+    A program is entry-consistent when shared variables are partitioned
+    into sets, each set has a unique lock, reads occur under a read or
+    write lock of that lock, and writes occur under a write lock.
+
+    Corollary 2: any history of a {e PRAM-consistent} program in which all
+    reads of shared variables are PRAM reads is sequentially consistent.
+    A program is PRAM-consistent when, in any phase (the computation
+    between consecutive barriers), a variable is updated at most once and
+    all reads of the variable follow the update.
+
+    Both checkers operate on recorded histories: they verify that the
+    recorded execution obeys the discipline, which is how a compiler-style
+    analysis would validate a run of the program. *)
+
+type lock_mode = Mode_read | Mode_write
+
+type entry_violation = {
+  op_id : int;
+  loc : Mc_history.Op.location;
+  reason : string;
+}
+
+type entry_result = {
+  assignment : (Mc_history.Op.location * Mc_history.Op.lock_name) list;
+      (** an inferred variable-to-lock assignment covering every access *)
+  entry_violations : entry_violation list;
+}
+
+(** [check_entry_consistent ?shared h] infers a lock assignment for each
+    shared variable from the locks held at each access and reports
+    accesses that no single lock covers. [shared] selects the variables
+    subject to the discipline; the default treats a variable as shared
+    when more than one process accesses it. *)
+val check_entry_consistent :
+  ?shared:(Mc_history.Op.location -> bool) ->
+  Mc_history.History.t ->
+  entry_result
+
+val is_entry_consistent :
+  ?shared:(Mc_history.Op.location -> bool) -> Mc_history.History.t -> bool
+
+type phase_violation = {
+  op_id : int;
+  loc : Mc_history.Op.location;
+  phase : int;
+  reason : string;
+}
+
+(** [check_pram_consistent ?shared h] assigns each operation the phase
+    equal to the number of barrier operations preceding it in its
+    process's program order, then checks that within each phase every
+    shared variable is written at most once, is never read by another
+    process in the phase it is written, and is never read before its
+    same-phase write by the writing process. *)
+val check_pram_consistent :
+  ?shared:(Mc_history.Op.location -> bool) ->
+  Mc_history.History.t ->
+  phase_violation list
+
+val is_pram_consistent :
+  ?shared:(Mc_history.Op.location -> bool) -> Mc_history.History.t -> bool
+
+(** [default_shared h] is the default shared-variable predicate: true for
+    locations accessed by at least two distinct processes. *)
+val default_shared : Mc_history.History.t -> Mc_history.Op.location -> bool

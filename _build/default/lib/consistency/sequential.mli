@@ -1,0 +1,41 @@
+(** Sequential consistency checking (Definition 1).
+
+    A history is sequentially consistent if at least one of its
+    serializations (total orders respecting the causality relation) is a
+    sequential history: every read returns the value of the most recent
+    write to that location, awaits observe the awaited value, decrements
+    observe the current value, and the lock discipline holds.
+
+    The membership problem is NP-hard in general; [is_sequentially_consistent]
+    performs an exact memoized backtracking search and gives up with
+    [Unknown] after a configurable state budget. *)
+
+type answer = Consistent | Inconsistent | Unknown
+
+(** [replay ?check_observed h order] replays the total order [order]
+    (a permutation of op ids) and returns [Ok ()] if it is a sequential
+    history, or [Error reason]. When [check_observed] is false (default
+    true), the recorded pre-values of decrements are not required to match
+    — used when decrements are treated as abstract commuting operations
+    (Section 5.3). The order is not required to respect causality; use
+    {!respects_causality} for that. *)
+val replay : ?check_observed:bool -> Mc_history.History.t -> int list -> (unit, string) result
+
+(** [respects_causality h order] checks that [order] is a serialization:
+    a total order on all operations extending the causality relation. *)
+val respects_causality : Mc_history.History.t -> int list -> bool
+
+(** [is_sequentially_consistent ?check_observed ?max_states h] searches
+    for a serialization that is a sequential history. [max_states]
+    bounds the number of distinct search states visited (default
+    200_000). *)
+val is_sequentially_consistent :
+  ?check_observed:bool -> ?max_states:int -> Mc_history.History.t -> answer
+
+(** [witness ?check_observed ?max_states h] additionally returns the
+    sequential serialization found, if any. *)
+val witness :
+  ?check_observed:bool ->
+  ?max_states:int ->
+  Mc_history.History.t ->
+  int list option * answer

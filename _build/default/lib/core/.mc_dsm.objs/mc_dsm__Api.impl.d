@@ -1,0 +1,1 @@
+lib/core/api.ml: Config Mc_history Runtime

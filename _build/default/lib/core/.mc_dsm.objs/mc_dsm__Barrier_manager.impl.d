@@ -1,0 +1,1 @@
+lib/core/barrier_manager.ml: Array Fun Hashtbl List Printf Protocol

@@ -1,0 +1,1 @@
+lib/core/barrier_manager.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/lock_manager.ml: Array Hashtbl List Mc_history Printf Protocol

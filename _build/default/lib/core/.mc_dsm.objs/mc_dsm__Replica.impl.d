@@ -1,0 +1,1 @@
+lib/core/replica.ml: Array Hashtbl List Mc_history Mc_sim Protocol String

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Mc_history Mc_sim Protocol

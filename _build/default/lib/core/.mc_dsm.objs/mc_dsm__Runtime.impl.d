@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Barrier_manager Config Hashtbl Lazy List Lock_manager Mc_history Mc_net Mc_sim Mc_util Option Printf Protocol Queue Replica String

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Config Mc_history Mc_net Mc_sim Mc_util Protocol

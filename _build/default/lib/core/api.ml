@@ -1,0 +1,34 @@
+type t = {
+  proc_id : int;
+  n_procs : int;
+  read : ?label:Mc_history.Op.label -> Mc_history.Op.location -> int;
+  write : Mc_history.Op.location -> int -> unit;
+  init_counter : Mc_history.Op.location -> int -> unit;
+  decrement : Mc_history.Op.location -> amount:int -> unit;
+  read_lock : Mc_history.Op.lock_name -> unit;
+  read_unlock : Mc_history.Op.lock_name -> unit;
+  write_lock : Mc_history.Op.lock_name -> unit;
+  write_unlock : Mc_history.Op.lock_name -> unit;
+  barrier : unit -> unit;
+  await : Mc_history.Op.location -> int -> unit;
+  compute : float -> unit;
+}
+
+let of_proc p =
+  {
+    proc_id = Runtime.proc_id p;
+    n_procs = (Runtime.config (Runtime.runtime_of_proc p)).Config.procs;
+    read = (fun ?label loc -> Runtime.read p ?label loc);
+    write = Runtime.write p;
+    init_counter = Runtime.init_counter p;
+    decrement = (fun loc ~amount -> Runtime.decrement p loc ~amount);
+    read_lock = Runtime.read_lock p;
+    read_unlock = Runtime.read_unlock p;
+    write_lock = Runtime.write_lock p;
+    write_unlock = Runtime.write_unlock p;
+    barrier = (fun () -> Runtime.barrier p);
+    await = Runtime.await p;
+    compute = Runtime.compute p;
+  }
+
+let spawn rt i f = Runtime.spawn_process rt i (fun p -> f (of_proc p))

@@ -1,0 +1,18 @@
+(** Barrier manager (Section 6): processes send their applied-update
+    count vectors when they arrive at a barrier; once all have arrived,
+    the manager broadcasts a release carrying the pointwise maximum — the
+    updates every process must apply before leaving the barrier. This is
+    the count-vector scheme the paper describes, with vector timestamps
+    playing the role of per-peer message counts. *)
+
+type t
+
+(** [create ~n ~send] builds a manager for a barrier over all [n]
+    processes. *)
+val create : n:int -> send:(dst:int -> Protocol.msg -> unit) -> t
+
+(** [handle t ~src msg] processes a [Barrier_arrive]. *)
+val handle : t -> src:int -> Protocol.msg -> unit
+
+(** [episodes_released t] counts completed episodes (for tests). *)
+val episodes_released : t -> int

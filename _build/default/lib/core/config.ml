@@ -1,0 +1,40 @@
+type propagation = Eager | Lazy | Demand | Entry
+
+type t = {
+  procs : int;
+  propagation : propagation;
+  record : bool;
+  await_label : Mc_history.Op.label;
+  op_cost : float;
+  update_bytes : int;
+  control_bytes : int;
+  send_cost : float;
+  byte_cost : float;
+  timestamped_updates : bool;
+  groups : int list list;
+  multicast : (Mc_history.Op.location -> int list option) option;
+}
+
+let default ~procs =
+  {
+    procs;
+    propagation = Lazy;
+    record = false;
+    await_label = Mc_history.Op.Causal;
+    op_cost = 0.1;
+    update_bytes = 64;
+    control_bytes = 32;
+    send_cost = 2.0;
+    byte_cost = 0.02;
+    timestamped_updates = true;
+    groups = [];
+    multicast = None;
+  }
+
+let propagation_to_string = function
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+  | Demand -> "demand"
+  | Entry -> "entry"
+
+let pp_propagation fmt p = Format.pp_print_string fmt (propagation_to_string p)

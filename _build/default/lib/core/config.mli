@@ -1,0 +1,66 @@
+(** Configuration of the mixed-consistency DSM runtime. *)
+
+(** How updates made inside a critical section reach the next lock holder
+    (Section 6). [Eager]: the releaser broadcasts a flush and waits for
+    acknowledgements from every node before the unlock takes effect.
+    [Lazy]: the unlock carries the releaser's update counts to the lock
+    manager; the next grantee waits until it has applied that many
+    updates before entering the critical section. [Demand]: the unlock
+    carries the write-set; the grantee enters immediately and only reads
+    of the written locations block until the updates arrive. [Entry]:
+    entry consistency in the style of Midway (Section 2: "explicitly
+    associating synchronization variables with critical sections ...
+    can be implemented more efficiently"): updates made inside a write
+    critical section are {e not} broadcast at all — their values travel
+    with the unlock to the lock manager and ride the next grant, so the
+    guarded variables cost O(1) messages per hand-off instead of a
+    broadcast per write. Guarded variables must only be accessed under
+    their lock (the entry-consistent discipline of Corollary 1);
+    accesses outside critical sections see stale values. *)
+type propagation = Eager | Lazy | Demand | Entry
+
+type t = {
+  procs : int;  (** number of DSM nodes / application processes *)
+  propagation : propagation;
+  record : bool;
+      (** record every operation into a {!Mc_history.Recorder} for
+          offline consistency checking *)
+  await_label : Mc_history.Op.label;
+      (** which view an await polls: [Causal] (default; satisfies the
+          await only once the witnessed write is causally applied) or
+          [PRAM] (the paper's busy-wait of PRAM reads) *)
+  op_cost : float;
+      (** virtual-time cost charged locally to every memory or
+          synchronization operation *)
+  update_bytes : int;  (** modelled wire size of one update message *)
+  control_bytes : int;  (** modelled wire size of one control message *)
+  send_cost : float;
+      (** per-message sender occupancy (LogP "o"); makes broadcasts cost
+          proportionally to fan-out *)
+  byte_cost : float;  (** per-byte transmission time (inverse bandwidth) *)
+  timestamped_updates : bool;
+      (** when true, updates carry a vector timestamp
+          ([8 * procs] extra bytes). Section 6 notes the timestamp can be
+          omitted when every read that follows a write is PRAM — set this
+          to false for PRAM-consistent programs (Fig. 2, Fig. 4). *)
+  groups : int list list;
+      (** process groups for which every replica maintains a group view,
+          enabling [Group]-labelled reads (the Section-3.2 spectrum) *)
+  multicast : (Mc_history.Op.location -> int list option) option;
+      (** subscriber-based update routing — the Maya optimization of
+          Section 6 ("the overhead of broadcasting messages for each
+          update ... may be avoided by making optimizations based on the
+          patterns of accesses to shared variables"). When set, a write
+          to [loc] is sent only to [subscribers loc] (None means
+          broadcast). Only PRAM-consistent programs may use this mode:
+          causal delivery is disabled (reads must be PRAM-labelled,
+          awaits poll the PRAM view) and barriers switch to the paper's
+          update-count scheme — each arrival reports how many updates it
+          sent to each peer, and the release tells each process how many
+          to wait for. *)
+}
+
+val default : procs:int -> t
+
+val pp_propagation : Format.formatter -> propagation -> unit
+val propagation_to_string : propagation -> string

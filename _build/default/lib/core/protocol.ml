@@ -1,0 +1,63 @@
+type update = {
+  writer : int;
+  useq : int;
+  dep : int array;
+  loc : Mc_history.Op.location;
+  numeric : Mc_history.Op.value;
+  tag : int;
+  is_dec : bool;
+}
+
+type msg =
+  | Update of update
+  | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
+  | Lock_grant of {
+      lock : Mc_history.Op.lock_name;
+      write : bool;
+      seq : int;
+      dep : int array;
+      invalid : (Mc_history.Op.location * int array) list;
+      values : (Mc_history.Op.location * int * int) list;
+    }
+  | Unlock_msg of {
+      proc : int;
+      lock : Mc_history.Op.lock_name;
+      write : bool;
+      vc : int array;
+      write_set : Mc_history.Op.location list;
+      values : (Mc_history.Op.location * int * int) list;
+    }
+  | Unlock_ack of { lock : Mc_history.Op.lock_name; seq : int }
+  | Flush_request of { proc : int }
+  | Flush_ack of { proc : int }
+  | Barrier_arrive of {
+      proc : int;
+      episode : int;
+      vc : int array;
+      members : int list;  (** empty means all processes *)
+      sent : int array;
+          (** multicast mode: cumulative update counts this process has
+              sent to each peer (Section 6's count vectors); empty when
+              vector timestamps are in use *)
+    }
+  | Barrier_release of {
+      episode : int;
+      dep : int array;
+      members : int list;
+      expect : int array;
+          (** multicast mode: cumulative update counts the receiver must
+              have received from each peer before leaving the barrier;
+              empty when vector timestamps are in use *)
+    }
+
+let kind = function
+  | Update { is_dec = false; _ } -> "update"
+  | Update { is_dec = true; _ } -> "dec_update"
+  | Lock_request _ -> "lock_request"
+  | Lock_grant _ -> "lock_grant"
+  | Unlock_msg _ -> "unlock"
+  | Unlock_ack _ -> "unlock_ack"
+  | Flush_request _ -> "flush_request"
+  | Flush_ack _ -> "flush_ack"
+  | Barrier_arrive _ -> "barrier_arrive"
+  | Barrier_release _ -> "barrier_release"

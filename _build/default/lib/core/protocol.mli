@@ -1,0 +1,72 @@
+(** Wire protocol of the mixed-consistency DSM (Section 6).
+
+    All node-to-node traffic is one of these messages. Updates carry the
+    writer's dependency clock for causal delivery; lock and barrier
+    control messages carry dependency clocks so grantees and barrier
+    leavers know which updates must be applied before they proceed. *)
+
+(** A propagated write or decrement. *)
+type update = {
+  writer : int;
+  useq : int;  (** per-writer update sequence number, starting at 1 *)
+  dep : int array;
+      (** applied-update counts per process at the writer when the update
+          was issued; [dep.(writer) = useq - 1] *)
+  loc : Mc_history.Op.location;
+  numeric : Mc_history.Op.value;
+      (** the application-level value (for decrements, the amount) *)
+  tag : int;
+      (** globally unique identity of the installed value, used for exact
+          reads-from recording; [0] for decrements *)
+  is_dec : bool;
+}
+
+type msg =
+  | Update of update
+  | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
+  | Lock_grant of {
+      lock : Mc_history.Op.lock_name;
+      write : bool;
+      seq : int;  (** manager grant-order number for the lock operation *)
+      dep : int array;  (** updates the grantee must apply before entering *)
+      invalid : (Mc_history.Op.location * int array) list;
+          (** demand mode: locations whose reads must wait for [dep] *)
+      values : (Mc_history.Op.location * int * int) list;
+          (** entry mode: current values of the lock's guarded variables,
+              installed at the grantee before it enters *)
+    }
+  | Unlock_msg of {
+      proc : int;
+      lock : Mc_history.Op.lock_name;
+      write : bool;
+      vc : int array;  (** the releaser's applied-update counts *)
+      write_set : Mc_history.Op.location list;
+      values : (Mc_history.Op.location * int * int) list;
+          (** entry mode: (location, numeric, tag) of every value written
+              in the critical section, to ride the next grant *)
+    }
+  | Unlock_ack of { lock : Mc_history.Op.lock_name; seq : int }
+  | Flush_request of { proc : int }
+  | Flush_ack of { proc : int }
+  | Barrier_arrive of {
+      proc : int;
+      episode : int;
+      vc : int array;
+      members : int list;  (** empty means all processes *)
+      sent : int array;
+          (** multicast mode: cumulative update counts this process has
+              sent to each peer (Section 6's count vectors); empty when
+              vector timestamps are in use *)
+    }
+  | Barrier_release of {
+      episode : int;
+      dep : int array;
+      members : int list;
+      expect : int array;
+          (** multicast mode: cumulative update counts the receiver must
+              have received from each peer before leaving the barrier;
+              empty when vector timestamps are in use *)
+    }
+
+(** [kind msg] is a short label for per-kind message statistics. *)
+val kind : msg -> string

@@ -1,0 +1,284 @@
+module Engine = Mc_sim.Engine
+
+type cell = { mutable numeric : int; mutable tag : int }
+
+type watcher = { pred : unit -> bool; resume : unit -> unit }
+
+(* A Section-3.2 group view: causality maintained across [members].
+   [g_applied] counts updates applied to this view per writer. An update
+   applies once its dependencies on members are applied here and its
+   dependencies on non-members have at least been received; the group
+   relation only tracks edges touching members, so received counts are
+   enough for the rest. *)
+type group_view = {
+  members : bool array;
+  g_view : (Mc_history.Op.location, cell) Hashtbl.t;
+  g_applied : int array;
+  mutable g_pending : Protocol.update list;
+}
+
+type t = {
+  engine : Engine.t;
+  node_id : int;
+  n : int;
+  mutable own_seq : int;
+  applied_counts : int array;
+  received_counts : int array;
+  causal_view : (Mc_history.Op.location, cell) Hashtbl.t;
+  pram_view : (Mc_history.Op.location, cell) Hashtbl.t;
+  mutable pending : Protocol.update list; (* causal delivery buffer *)
+  invalid : (Mc_history.Op.location, int array) Hashtbl.t;
+  mutable watchers : watcher list;
+  group_views : (int list * group_view) list;
+  causal_delivery : bool;
+      (* false under multicast routing: updates may arrive with gaps in
+         the writer sequence, so only the PRAM view is maintained *)
+}
+
+let create engine ~id ~n ?(groups = []) ?(causal_delivery = true) () =
+  let make_group members_list =
+    let members = Array.make n false in
+    List.iter
+      (fun m ->
+        if m < 0 || m >= n then invalid_arg "Replica.create: group member out of range";
+        members.(m) <- true)
+      members_list;
+    ( List.sort_uniq compare members_list,
+      {
+        members;
+        g_view = Hashtbl.create 32;
+        g_applied = Array.make n 0;
+        g_pending = [];
+      } )
+  in
+  {
+    engine;
+    node_id = id;
+    n;
+    own_seq = 0;
+    applied_counts = Array.make n 0;
+    received_counts = Array.make n 0;
+    causal_view = Hashtbl.create 64;
+    pram_view = Hashtbl.create 64;
+    pending = [];
+    invalid = Hashtbl.create 8;
+    watchers = [];
+    group_views = List.map make_group groups;
+    causal_delivery;
+  }
+
+let id t = t.node_id
+let applied t = Array.copy t.applied_counts
+let received t = Array.copy t.received_counts
+let pending_count t = List.length t.pending
+
+let view_cell view loc =
+  match Hashtbl.find_opt view loc with
+  | Some c -> c
+  | None ->
+    let c = { numeric = 0; tag = 0 } in
+    Hashtbl.add view loc c;
+    c
+
+let read_view view loc =
+  match Hashtbl.find_opt view loc with
+  | Some c -> (c.numeric, c.tag)
+  | None -> (0, 0)
+
+let apply_to_view view (u : Protocol.update) =
+  let c = view_cell view u.loc in
+  if u.is_dec then c.numeric <- c.numeric - u.numeric
+  else begin
+    c.numeric <- u.numeric;
+    c.tag <- u.tag
+  end
+
+let causal_read t loc = read_view t.causal_view loc
+let pram_read t loc = read_view t.pram_view loc
+
+let find_group t group =
+  let key = List.sort_uniq compare group in
+  match List.assoc_opt key t.group_views with
+  | Some g -> g
+  | None ->
+    invalid_arg
+      ("Replica.group_read: group not registered: {"
+      ^ String.concat "," (List.map string_of_int key)
+      ^ "}")
+
+let group_read t ~group loc = read_view (find_group t group).g_view loc
+
+(* a member update is deliverable to a group view when its member
+   dependencies are applied to the view (per-writer in order) and its
+   non-member dependencies have at least been received *)
+let group_deliverable t g (u : Protocol.update) =
+  g.g_applied.(u.writer) = u.useq - 1
+  && (let ok = ref true in
+      Array.iteri
+        (fun k d ->
+          if k <> u.writer then
+            if g.members.(k) then begin
+              if g.g_applied.(k) < d then ok := false
+            end
+            else if t.received_counts.(k) < d then ok := false)
+        u.dep;
+      !ok)
+
+let group_apply g (u : Protocol.update) =
+  apply_to_view g.g_view u;
+  g.g_applied.(u.writer) <- g.g_applied.(u.writer) + 1
+
+let drain_group t g =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec scan acc = function
+      | [] -> List.rev acc
+      | u :: rest ->
+        if group_deliverable t g u then begin
+          group_apply g u;
+          progress := true;
+          scan acc rest
+        end
+        else scan (u :: acc) rest
+    in
+    g.g_pending <- scan [] g.g_pending
+  done
+
+let group_receive t g (u : Protocol.update) =
+  (* every update waits for its dependencies on group members to be
+     applied to this view: a non-member's update can causally depend on a
+     member's write (the writer observed it before writing), and the
+     group relation includes reads-from edges that touch members *)
+  g.g_pending <- g.g_pending @ [ u ];
+  drain_group t g
+
+let dep_satisfied t dep =
+  let ok = ref true in
+  Array.iteri (fun j d -> if t.applied_counts.(j) < d then ok := false) dep;
+  !ok
+
+let notify t =
+  (* Fire watchers whose predicate now holds. A fired resume may run a
+     continuation that installs new watchers, so snapshot first. *)
+  let rec fire () =
+    let ready, blocked = List.partition (fun w -> w.pred ()) t.watchers in
+    t.watchers <- blocked;
+    match ready with
+    | [] -> ()
+    | ws ->
+      List.iter (fun w -> w.resume ()) ws;
+      fire ()
+  in
+  fire ()
+
+let deliverable t (u : Protocol.update) =
+  t.applied_counts.(u.writer) = u.useq - 1
+  && (let ok = ref true in
+      Array.iteri
+        (fun k d -> if k <> u.writer && t.applied_counts.(k) < d then ok := false)
+        u.dep;
+      !ok)
+
+let causal_apply t (u : Protocol.update) =
+  apply_to_view t.causal_view u;
+  t.applied_counts.(u.writer) <- t.applied_counts.(u.writer) + 1;
+  (* clear satisfied demand-mode obligations *)
+  let cleared =
+    Hashtbl.fold
+      (fun loc dep acc -> if dep_satisfied t dep then loc :: acc else acc)
+      t.invalid []
+  in
+  List.iter (Hashtbl.remove t.invalid) cleared
+
+let drain_pending t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec scan acc = function
+      | [] -> List.rev acc
+      | u :: rest ->
+        if deliverable t u then begin
+          causal_apply t u;
+          progress := true;
+          scan acc rest
+        end
+        else scan (u :: acc) rest
+    in
+    t.pending <- scan [] t.pending
+  done
+
+let receive t (u : Protocol.update) =
+  if u.writer = t.node_id then
+    invalid_arg "Replica.receive: update from self (already applied locally)";
+  t.received_counts.(u.writer) <- t.received_counts.(u.writer) + 1;
+  apply_to_view t.pram_view u;
+  if t.causal_delivery then begin
+    t.pending <- t.pending @ [ u ];
+    drain_pending t;
+    List.iter (fun (_, g) -> group_receive t g u) t.group_views
+  end;
+  notify t
+
+let make_update t ~loc ~numeric ~tag ~is_dec =
+  (* dependency clock: applied counts before this update; the writer's own
+     entry equals own_seq, i.e. useq - 1 *)
+  let dep = Array.copy t.applied_counts in
+  t.own_seq <- t.own_seq + 1;
+  let u : Protocol.update =
+    { writer = t.node_id; useq = t.own_seq; dep; loc; numeric; tag; is_dec }
+  in
+  apply_to_view t.causal_view u;
+  apply_to_view t.pram_view u;
+  t.applied_counts.(t.node_id) <- t.applied_counts.(t.node_id) + 1;
+  t.received_counts.(t.node_id) <- t.received_counts.(t.node_id) + 1;
+  (* own updates apply to every group view immediately *)
+  List.iter
+    (fun (_, g) ->
+      group_apply g u;
+      drain_group t g)
+    t.group_views;
+  notify t;
+  u
+
+let local_write t ~loc ~numeric ~tag = make_update t ~loc ~numeric ~tag ~is_dec:false
+
+let local_dec t ~loc ~amount =
+  let observed, _ = causal_read t loc in
+  let u = make_update t ~loc ~numeric:amount ~tag:0 ~is_dec:true in
+  (u, observed)
+
+(* entry mode: install a value carried by a lock grant directly into
+   both views; these values never traveled as counted updates, so the
+   vector bookkeeping is untouched (the lock discipline provides the
+   ordering) *)
+let install_direct t ~loc ~numeric ~tag =
+  let set view =
+    let c = view_cell view loc in
+    c.numeric <- numeric;
+    c.tag <- tag
+  in
+  set t.causal_view;
+  set t.pram_view;
+  List.iter (fun (_, g) -> set g.g_view) t.group_views;
+  notify t
+
+let mark_invalid t loc dep =
+  if not (dep_satisfied t dep) then begin
+    let merged =
+      match Hashtbl.find_opt t.invalid loc with
+      | Some prev -> Array.init (Array.length dep) (fun j -> max prev.(j) dep.(j))
+      | None -> dep
+    in
+    Hashtbl.replace t.invalid loc merged
+  end
+
+let location_blocked t loc =
+  match Hashtbl.find_opt t.invalid loc with
+  | Some dep -> not (dep_satisfied t dep)
+  | None -> false
+
+let wait_until t pred =
+  if not (pred ()) then
+    Engine.suspend t.engine (fun resume ->
+        t.watchers <- { pred; resume } :: t.watchers)

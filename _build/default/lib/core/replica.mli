@@ -1,0 +1,109 @@
+(** Per-node replicated store with dual consistency views (Section 6).
+
+    Every node keeps a full copy of the shared memory in two views: the
+    {e PRAM view}, to which incoming updates are applied as soon as they
+    are received (channels are FIFO, so per-writer order is preserved),
+    and the {e causal view}, to which updates are applied in causal order
+    using vector-timestamp delivery. Reads of either label return local
+    values; they differ only in which view they consult.
+
+    Each installed value carries a unique [tag] used for exact reads-from
+    recording; decrements adjust the numeric value without changing the
+    tag (counter objects are only ever read through awaits and
+    decrements). *)
+
+type t
+
+(** [create engine ~id ~n ~groups] builds a replica. [groups] lists the
+    process groups for which a {e group view} is maintained (the
+    Section-3.2 spectrum between PRAM and causal): a group view applies
+    an update once the update's dependencies on group members are applied
+    to the view and its dependencies on non-members have been received. Group reads are only
+    meaningful at replicas whose process belongs to the group. *)
+val create :
+  Mc_sim.Engine.t ->
+  id:int ->
+  n:int ->
+  ?groups:int list list ->
+  ?causal_delivery:bool ->
+  unit ->
+  t
+(** [causal_delivery:false] disables the causal view and group views —
+    used by the multicast routing mode, where updates arrive with gaps in
+    writer sequences and only the PRAM view is meaningful. *)
+
+val id : t -> int
+
+(** [applied t] is the vector of causally-applied update counts per
+    writer — the node's vector timestamp. Returns a copy. *)
+val applied : t -> int array
+
+(** [received t] is the per-writer received-update counts (equal to the
+    PRAM view's application counts). Returns a copy. *)
+val received : t -> int array
+
+(** {1 Local operations} *)
+
+(** [local_write t ~loc ~numeric ~tag] applies a write locally to both
+    views and returns the update to broadcast. *)
+val local_write :
+  t -> loc:Mc_history.Op.location -> numeric:int -> tag:int -> Protocol.update
+
+(** [local_dec t ~loc ~amount] applies a decrement locally and returns
+    the update to broadcast along with the pre-decrement value of the
+    causal view. *)
+val local_dec :
+  t -> loc:Mc_history.Op.location -> amount:int -> Protocol.update * int
+
+(** {1 Remote updates} *)
+
+(** [receive t update] ingests an update from the network: applies it to
+    the PRAM view immediately and to the causal view once deliverable,
+    then wakes any watchers whose condition became true. *)
+val receive : t -> Protocol.update -> unit
+
+(** [pending_count t] is the number of received updates still awaiting
+    causal delivery. *)
+val pending_count : t -> int
+
+(** {1 Reading} *)
+
+(** [causal_read t loc] is [(numeric, tag)] from the causal view. *)
+val causal_read : t -> Mc_history.Op.location -> int * int
+
+(** [pram_read t loc] is [(numeric, tag)] from the PRAM view. *)
+val pram_read : t -> Mc_history.Op.location -> int * int
+
+(** [group_read t ~group loc] reads the registered group view. Raises
+    [Invalid_argument] if the group was not passed to {!create}. *)
+val group_read : t -> group:int list -> Mc_history.Op.location -> int * int
+
+(** {1 Dependency gating} *)
+
+(** [dep_satisfied t dep] tests [applied >= dep] pointwise. *)
+val dep_satisfied : t -> int array -> bool
+
+(** [install_direct t ~loc ~numeric ~tag] installs a value that arrived
+    out of band (entry-mode lock grants) into every view, without
+    touching the update counts. *)
+val install_direct : t -> loc:Mc_history.Op.location -> numeric:int -> tag:int -> unit
+
+(** [mark_invalid t loc dep] records a demand-mode obligation: reads of
+    [loc] must block until [dep] is applied. Merged pointwise with any
+    existing obligation. *)
+val mark_invalid : t -> Mc_history.Op.location -> int array -> unit
+
+(** [location_blocked t loc] is true while an unmet obligation on [loc]
+    exists. *)
+val location_blocked : t -> Mc_history.Op.location -> bool
+
+(** {1 Blocking} *)
+
+(** [wait_until t pred] suspends the calling fiber until [pred ()] holds.
+    The predicate is re-evaluated after every state change of the
+    replica. Returns immediately if already true. *)
+val wait_until : t -> (unit -> bool) -> unit
+
+(** [notify t] re-evaluates watcher predicates; exposed for the runtime
+    to call after non-replica state changes (e.g. lock grants). *)
+val notify : t -> unit

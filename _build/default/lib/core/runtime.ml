@@ -1,0 +1,553 @@
+module Engine = Mc_sim.Engine
+module Network = Mc_net.Network
+module Latency = Mc_net.Latency
+module Op = Mc_history.Op
+module Recorder = Mc_history.Recorder
+module Summary = Mc_util.Stats.Summary
+module Counters = Mc_util.Stats.Counters
+
+(* Client-side state of one node, beyond the replica itself. *)
+type node = {
+  replica : Replica.t;
+  (* FIFO queues of resolvers: several fibers of one process (the model
+     allows multi-threaded processes, Section 3) may have requests in
+     flight on the same lock object *)
+  grant_waiters : (Op.lock_name, (Protocol.msg -> unit) Queue.t) Hashtbl.t;
+  ack_waiters : (Op.lock_name, (int -> unit) Queue.t) Hashtbl.t;
+  mutable flush_waiter : (int ref * (unit -> unit)) option;
+      (* remaining acks, resume *)
+  released : (int list * int, int array * int array) Hashtbl.t;
+      (* (member set, episode) -> (dep, expect); [] means all processes *)
+  mutable barrier_episode : int;
+  subset_episodes : (int list, int ref) Hashtbl.t;
+  sent_updates : int array; (* cumulative updates sent to each peer *)
+  mutable open_write_sets :
+    (Op.lock_name * (Op.location * int * int) list ref) list;
+      (* (location, numeric, tag) written under each currently-held write
+         lock: locations feed demand-mode invalidations, values feed
+         entry-mode grants *)
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : Config.t;
+  net : Protocol.msg Network.t;
+  nodes : node array;
+  lock_managers : Lock_manager.t array;
+  barrier_manager : Barrier_manager.t;
+  recorder : Recorder.t option;
+  mutable tag_counter : int;
+  waits : (string, Summary.t) Hashtbl.t;
+  ops : Counters.t;
+}
+
+type proc = { rt : t; id : int }
+
+let engine t = t.engine
+let config t = t.cfg
+let network t = t.net
+let proc t i = { rt = t; id = i }
+let proc_id p = p.id
+let runtime_of_proc p = p.rt
+
+let lock_home t lock = Hashtbl.hash lock mod t.cfg.Config.procs
+
+(* control messages that carry a dependency clock pay for it *)
+let vc_bytes cfg = 8 * cfg.Config.procs
+
+let update_wire_bytes cfg =
+  cfg.Config.update_bytes
+  + (if cfg.Config.timestamped_updates then vc_bytes cfg else 0)
+
+let control_wire_bytes cfg msg =
+  cfg.Config.control_bytes
+  + (match msg with
+    | Protocol.Lock_grant _ | Protocol.Unlock_msg _ | Protocol.Barrier_arrive _
+    | Protocol.Barrier_release _ ->
+      vc_bytes cfg
+    | _ -> 0)
+  + (* entry mode: guarded values ride the lock messages and pay for it *)
+  (match msg with
+  | Protocol.Lock_grant { values; _ } | Protocol.Unlock_msg { values; _ } ->
+    16 * List.length values
+  | _ -> 0)
+
+let send t ~src ~dst ?(control = true) msg =
+  let bytes =
+    if control then control_wire_bytes t.cfg msg else update_wire_bytes t.cfg
+  in
+  Network.send t.net ~src ~dst ~bytes ~kind:(Protocol.kind msg) msg
+
+let handle_message t node_id ~src msg =
+  let node = t.nodes.(node_id) in
+  match msg with
+  | Protocol.Update u -> Replica.receive node.replica u
+  | Protocol.Lock_request _ | Protocol.Unlock_msg _ ->
+    Lock_manager.handle t.lock_managers.(node_id) ~src msg
+  | Protocol.Lock_grant { lock; _ } -> (
+    match Hashtbl.find_opt node.grant_waiters lock with
+    | Some q when not (Queue.is_empty q) -> (Queue.pop q) msg
+    | Some _ | None -> invalid_arg "Runtime: unexpected lock grant")
+  | Protocol.Unlock_ack { lock; seq } -> (
+    match Hashtbl.find_opt node.ack_waiters lock with
+    | Some q when not (Queue.is_empty q) -> (Queue.pop q) seq
+    | Some _ | None -> invalid_arg "Runtime: unexpected unlock ack")
+  | Protocol.Flush_request { proc } ->
+    (* FIFO channels: every update [proc] sent before this request has
+       already been received here *)
+    send t ~src:node_id ~dst:proc (Protocol.Flush_ack { proc = node_id })
+  | Protocol.Flush_ack _ -> (
+    match node.flush_waiter with
+    | Some (remaining, resume) ->
+      decr remaining;
+      if !remaining = 0 then begin
+        node.flush_waiter <- None;
+        resume ()
+      end
+    | None -> invalid_arg "Runtime: unexpected flush ack")
+  | Protocol.Barrier_arrive _ ->
+    Barrier_manager.handle t.barrier_manager ~src msg
+  | Protocol.Barrier_release { episode; dep; members; expect } ->
+    Hashtbl.replace node.released (members, episode) (dep, expect);
+    Replica.notify node.replica
+
+let create engine ?latency cfg =
+  let n = cfg.Config.procs in
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Latency.uniform (Mc_util.Rng.make 0xC0FFEE) ~lo:30. ~hi:70.
+  in
+  let net =
+    Network.create engine ~nodes:n ~latency ~send_cost:cfg.Config.send_cost
+      ~byte_cost:cfg.Config.byte_cost ()
+  in
+  let rec t =
+    lazy
+      (let send_from home ~dst msg =
+         send (Lazy.force t) ~src:home ~dst msg
+       in
+       {
+         engine;
+         cfg;
+         net;
+         nodes =
+           Array.init n (fun id ->
+               {
+                 replica =
+                   Replica.create engine ~id ~n ~groups:cfg.Config.groups
+                     ~causal_delivery:(cfg.Config.multicast = None) ();
+                 grant_waiters = Hashtbl.create 4;
+                 ack_waiters = Hashtbl.create 4;
+                 flush_waiter = None;
+                 released = Hashtbl.create 8;
+                 barrier_episode = 0;
+                 subset_episodes = Hashtbl.create 4;
+                 sent_updates = Array.make n 0;
+                 open_write_sets = [];
+               });
+         lock_managers =
+           Array.init n (fun home ->
+               Lock_manager.create ~n
+                 ~demand:(cfg.Config.propagation = Config.Demand)
+                 ~send:(send_from home));
+         barrier_manager = Barrier_manager.create ~n ~send:(send_from 0);
+         recorder =
+           (if cfg.Config.record then Some (Recorder.create ~procs:n) else None);
+         tag_counter = 0;
+         waits = Hashtbl.create 8;
+         ops = Counters.create ();
+       })
+  in
+  let t = Lazy.force t in
+  for node_id = 0 to n - 1 do
+    Network.set_handler net node_id (fun ~src msg -> handle_message t node_id ~src msg)
+  done;
+  t
+
+let run t = Engine.run t.engine
+
+let spawn_process t i f =
+  Engine.spawn t.engine ~name:(Printf.sprintf "proc-%d" i) (fun () ->
+      f (proc t i))
+
+let spawn_thread t i f =
+  (* an additional fiber of process [i]: shares its replica and recorder,
+     so the recorded local history becomes a genuine partial order
+     (Section 3 models intra-process concurrency) *)
+  Engine.spawn t.engine ~name:(Printf.sprintf "proc-%d-thread" i) (fun () ->
+      f (proc t i))
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let note_wait t name dt =
+  let s =
+    match Hashtbl.find_opt t.waits name with
+    | Some s -> s
+    | None ->
+      let s = Summary.create () in
+      Hashtbl.add t.waits name s;
+      s
+  in
+  Summary.add s dt
+
+let timed p name f =
+  let t0 = Engine.now p.rt.engine in
+  let r = f () in
+  note_wait p.rt name (Engine.now p.rt.engine -. t0);
+  r
+
+let charge p = Engine.delay p.rt.engine p.rt.cfg.Config.op_cost
+
+let record p kind = Option.map (fun r -> Recorder.record r ~proc:p.id kind) p.rt.recorder
+
+let record_start p = Option.map (fun r -> Recorder.start r ~proc:p.id) p.rt.recorder
+
+let record_finish p token ?sync_seq kind =
+  match p.rt.recorder, token with
+  | Some r, Some tok -> ignore (Recorder.finish r tok ?sync_seq kind)
+  | _ -> ()
+
+let fresh_tag p =
+  p.rt.tag_counter <- p.rt.tag_counter + 1;
+  ((p.id + 1) lsl 40) lor p.rt.tag_counter
+
+(* ------------------------------------------------------------------ *)
+(* Memory operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let recorded_value ~numeric ~tag = if tag <> 0 then tag else numeric
+
+let read p ?(label = Op.Causal) loc =
+  Counters.incr p.rt.ops "read";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  timed p "read" (fun () ->
+      (* demand mode: reads of invalidated locations block until the
+         pending updates are applied *)
+      Replica.wait_until node.replica (fun () ->
+          not (Replica.location_blocked node.replica loc));
+      let numeric, tag =
+        match label with
+        | Op.Causal ->
+          if p.rt.cfg.Config.multicast <> None then
+            invalid_arg
+              "Runtime.read: causal reads are unavailable under multicast routing";
+          Replica.causal_read node.replica loc
+        | Op.PRAM -> Replica.pram_read node.replica loc
+        | Op.Group group ->
+          if p.rt.cfg.Config.multicast <> None then
+            invalid_arg
+              "Runtime.read: group reads are unavailable under multicast routing";
+          if not (List.mem p.id group) then
+            invalid_arg "Runtime.read: process is not a member of the read group";
+          Replica.group_read node.replica ~group loc
+      in
+      ignore
+        (record p (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
+      numeric)
+
+let broadcast_update p (u : Protocol.update) =
+  let node = p.rt.nodes.(p.id) in
+  let bytes = update_wire_bytes p.rt.cfg in
+  let kind = Protocol.kind (Protocol.Update u) in
+  let send_to dst =
+    if dst <> p.id then begin
+      node.sent_updates.(dst) <- node.sent_updates.(dst) + 1;
+      Network.send p.rt.net ~src:p.id ~dst ~bytes ~kind (Protocol.Update u)
+    end
+  in
+  match p.rt.cfg.Config.multicast with
+  | None ->
+    for dst = 0 to p.rt.cfg.Config.procs - 1 do
+      send_to dst
+    done
+  | Some subscribers -> (
+    match subscribers u.loc with
+    | None ->
+      for dst = 0 to p.rt.cfg.Config.procs - 1 do
+        send_to dst
+      done
+    | Some subs -> List.iter send_to (List.sort_uniq compare subs))
+
+let track_write_set p loc ~numeric ~tag =
+  let node = p.rt.nodes.(p.id) in
+  List.iter
+    (fun (_, log) ->
+      log := (loc, numeric, tag) :: List.filter (fun (l, _, _) -> l <> loc) !log)
+    node.open_write_sets
+
+(* entry mode: is this process inside a write critical section? *)
+let in_entry_section p =
+  p.rt.cfg.Config.propagation = Config.Entry
+  && p.rt.nodes.(p.id).open_write_sets <> []
+
+let write p loc v =
+  Counters.incr p.rt.ops "write";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  let tag = fresh_tag p in
+  ignore (record p (Op.Write { loc; value = tag }));
+  if in_entry_section p then begin
+    (* guarded write: install locally and ship with the unlock instead of
+       broadcasting (entry consistency) *)
+    Replica.install_direct node.replica ~loc ~numeric:v ~tag;
+    track_write_set p loc ~numeric:v ~tag
+  end
+  else begin
+    let u = Replica.local_write node.replica ~loc ~numeric:v ~tag in
+    track_write_set p loc ~numeric:v ~tag;
+    broadcast_update p u
+  end
+
+let init_counter p loc v =
+  Counters.incr p.rt.ops "init_counter";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  ignore (record p (Op.Write { loc; value = v }));
+  (* tag 0 marks the location as numerically recorded *)
+  if in_entry_section p then begin
+    Replica.install_direct node.replica ~loc ~numeric:v ~tag:0;
+    track_write_set p loc ~numeric:v ~tag:0
+  end
+  else begin
+    let u = Replica.local_write node.replica ~loc ~numeric:v ~tag:0 in
+    track_write_set p loc ~numeric:v ~tag:0;
+    broadcast_update p u
+  end
+
+let decrement p loc ~amount =
+  Counters.incr p.rt.ops "decrement";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  if in_entry_section p then begin
+    let observed, _ = Replica.causal_read node.replica loc in
+    ignore (record p (Op.Decrement { loc; amount; observed }));
+    Replica.install_direct node.replica ~loc ~numeric:(observed - amount) ~tag:0;
+    track_write_set p loc ~numeric:(observed - amount) ~tag:0
+  end
+  else begin
+    let u, observed = Replica.local_dec node.replica ~loc ~amount in
+    ignore (record p (Op.Decrement { loc; amount; observed }));
+    track_write_set p loc ~numeric:(observed - amount) ~tag:0;
+    broadcast_update p u
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let acquire p lock ~write =
+  if p.rt.cfg.Config.multicast <> None then
+    invalid_arg
+      "Runtime: locks are unavailable under multicast routing (use barriers; \
+       the mode is for PRAM-consistent programs)";
+  Counters.incr p.rt.ops (if write then "write_lock" else "read_lock");
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  let token = record_start p in
+  timed p
+    (if write then "write_lock" else "read_lock")
+    (fun () ->
+      send p.rt ~src:p.id ~dst:(lock_home p.rt lock)
+        (Protocol.Lock_request { proc = p.id; lock; write });
+      let grant =
+        Engine.suspend p.rt.engine (fun resume ->
+            let q =
+              match Hashtbl.find_opt node.grant_waiters lock with
+              | Some q -> q
+              | None ->
+                let q = Queue.create () in
+                Hashtbl.add node.grant_waiters lock q;
+                q
+            in
+            Queue.push resume q)
+      in
+      match grant with
+      | Protocol.Lock_grant { seq; dep; invalid; values; _ } ->
+        (match p.rt.cfg.Config.propagation with
+        | Config.Eager | Config.Lazy ->
+          (* wait for the previous holders' updates to be applied *)
+          Replica.wait_until node.replica (fun () ->
+              Replica.dep_satisfied node.replica dep)
+        | Config.Demand ->
+          (* enter immediately; only reads of the written locations wait *)
+          List.iter
+            (fun (loc, d) -> Replica.mark_invalid node.replica loc d)
+            invalid
+        | Config.Entry ->
+          (* the guarded variables' current values arrived with the grant *)
+          List.iter
+            (fun (loc, numeric, tag) ->
+              Replica.install_direct node.replica ~loc ~numeric ~tag)
+            values);
+        if write then node.open_write_sets <- (lock, ref []) :: node.open_write_sets;
+        record_finish p token ~sync_seq:seq
+          (if write then Op.Write_lock lock else Op.Read_lock lock)
+      | _ -> assert false)
+
+let release p lock ~write =
+  Counters.incr p.rt.ops (if write then "write_unlock" else "read_unlock");
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  let token = record_start p in
+  timed p
+    (if write then "write_unlock" else "read_unlock")
+    (fun () ->
+      (* eager propagation: flush all our updates everywhere first *)
+      (if p.rt.cfg.Config.propagation = Config.Eager && p.rt.cfg.Config.procs > 1
+       then begin
+         Network.broadcast p.rt.net ~src:p.id ~bytes:p.rt.cfg.Config.control_bytes
+           ~kind:"flush_request"
+           (Protocol.Flush_request { proc = p.id });
+         Engine.suspend p.rt.engine (fun resume ->
+             node.flush_waiter <-
+               Some (ref (p.rt.cfg.Config.procs - 1), fun () -> resume ()))
+       end);
+      let written =
+        if write then begin
+          match List.assoc_opt lock node.open_write_sets with
+          | Some log ->
+            node.open_write_sets <-
+              List.filter (fun (l, _) -> l <> lock) node.open_write_sets;
+            !log
+          | None -> []
+        end
+        else []
+      in
+      send p.rt ~src:p.id ~dst:(lock_home p.rt lock)
+        (Protocol.Unlock_msg
+           {
+             proc = p.id;
+             lock;
+             write;
+             vc = Replica.applied node.replica;
+             write_set = List.map (fun (l, _, _) -> l) written;
+             values =
+               (if p.rt.cfg.Config.propagation = Config.Entry then written
+                else []);
+           });
+      let seq =
+        Engine.suspend p.rt.engine (fun resume ->
+            let q =
+              match Hashtbl.find_opt node.ack_waiters lock with
+              | Some q -> q
+              | None ->
+                let q = Queue.create () in
+                Hashtbl.add node.ack_waiters lock q;
+                q
+            in
+            Queue.push resume q)
+      in
+      record_finish p token ~sync_seq:seq
+        (if write then Op.Write_unlock lock else Op.Read_unlock lock))
+
+let write_lock p lock = acquire p lock ~write:true
+let write_unlock p lock = release p lock ~write:true
+let read_lock p lock = acquire p lock ~write:false
+let read_unlock p lock = release p lock ~write:false
+
+(* ------------------------------------------------------------------ *)
+(* Barrier and await                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_generic p ~members ~episode ~kind =
+  let node = p.rt.nodes.(p.id) in
+  let token = record_start p in
+  let multicast = p.rt.cfg.Config.multicast <> None in
+  timed p "barrier" (fun () ->
+      send p.rt ~src:p.id ~dst:0
+        (Protocol.Barrier_arrive
+           {
+             proc = p.id;
+             episode;
+             vc = Replica.applied node.replica;
+             members;
+             sent = (if multicast then Array.copy node.sent_updates else [||]);
+           });
+      Replica.wait_until node.replica (fun () ->
+          match Hashtbl.find_opt node.released (members, episode) with
+          | Some (dep, expect) ->
+            if expect = [||] then Replica.dep_satisfied node.replica dep
+            else begin
+              (* Section 6's count scheme: proceed once this node has
+                 received as many updates from each peer as the barrier
+                 manager counted *)
+              let received = Replica.received node.replica in
+              let ok = ref true in
+              Array.iteri (fun j c -> if received.(j) < c then ok := false) expect;
+              !ok
+            end
+          | None -> false);
+      Hashtbl.remove node.released (members, episode);
+      record_finish p token kind)
+
+let barrier p =
+  Counters.incr p.rt.ops "barrier";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  let episode = node.barrier_episode in
+  node.barrier_episode <- episode + 1;
+  barrier_generic p ~members:[] ~episode ~kind:(Op.Barrier episode)
+
+let barrier_subset p members =
+  Counters.incr p.rt.ops "barrier_subset";
+  charge p;
+  let members = List.sort_uniq compare members in
+  if not (List.mem p.id members) then
+    invalid_arg "Runtime.barrier_subset: calling process must be a member";
+  let node = p.rt.nodes.(p.id) in
+  let counter =
+    match Hashtbl.find_opt node.subset_episodes members with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.add node.subset_episodes members r;
+      r
+  in
+  let episode = !counter in
+  incr counter;
+  barrier_generic p ~members ~episode
+    ~kind:(Op.Barrier_group { episode; members })
+
+let await p loc v =
+  Counters.incr p.rt.ops "await";
+  charge p;
+  let node = p.rt.nodes.(p.id) in
+  let token = record_start p in
+  let view () =
+    if p.rt.cfg.Config.multicast <> None then Replica.pram_read node.replica loc
+    else
+      match p.rt.cfg.Config.await_label with
+      | Op.Causal -> Replica.causal_read node.replica loc
+      | Op.PRAM -> Replica.pram_read node.replica loc
+      | Op.Group group -> Replica.group_read node.replica ~group loc
+  in
+  timed p "await" (fun () ->
+      Replica.wait_until node.replica (fun () -> fst (view ()) = v);
+      let numeric, tag = view () in
+      record_finish p token
+        (Op.Await { loc; value = recorded_value ~numeric ~tag }))
+
+let compute p cost =
+  Counters.incr p.rt.ops "compute";
+  Engine.delay p.rt.engine cost
+
+(* ------------------------------------------------------------------ *)
+(* Results and statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let history t =
+  match t.recorder with
+  | Some r -> Recorder.history r
+  | None -> invalid_arg "Runtime.history: recording is disabled"
+
+let peek t ~proc loc = fst (Replica.causal_read t.nodes.(proc).replica loc)
+
+let wait_summaries t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.waits []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let op_counts t = Counters.to_list t.ops

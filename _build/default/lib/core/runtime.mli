@@ -1,0 +1,121 @@
+(** The mixed-consistency DSM runtime — the paper's programming model.
+
+    A runtime hosts [procs] DSM nodes on a simulated network. Application
+    processes are fibers spawned with {!spawn_process}; inside a fiber the
+    operations of the model are available in direct style:
+
+    {[
+      Runtime.spawn_process rt 0 (fun p ->
+          Runtime.write p "x" 42;
+          Runtime.barrier p;
+          let v = Runtime.read p ~label:Op.PRAM "x" in
+          ...)
+    ]}
+
+    Reads are served from the local replica (PRAM view or causal view
+    according to the label, Definition 4); writes update the local
+    replica and broadcast asynchronously; locks, barriers and awaits
+    implement the synchronization orders of Section 3.1 with the
+    propagation strategy chosen in {!Config.t}.
+
+    When [config.record] is set, every operation is recorded and
+    {!history} returns a {!Mc_history.History.t} that can be fed to the
+    checkers in [mc_consistency]. Written values are recorded as unique
+    tags so the reads-from relation of the recorded history is exact;
+    counter locations (see {!init_counter}) are recorded numerically. *)
+
+type t
+
+(** A handle on one application process (one per DSM node). *)
+type proc
+
+val create : Mc_sim.Engine.t -> ?latency:Mc_net.Latency.t -> Config.t -> t
+
+val engine : t -> Mc_sim.Engine.t
+val config : t -> Config.t
+val network : t -> Protocol.msg Mc_net.Network.t
+
+(** [proc t i] is the handle for process [i]. *)
+val proc : t -> int -> proc
+
+val proc_id : proc -> int
+
+(** [runtime_of_proc p] recovers the runtime a handle belongs to. *)
+val runtime_of_proc : proc -> t
+
+(** [spawn_process t i f] spawns the application fiber of process [i]. *)
+val spawn_process : t -> int -> (proc -> unit) -> unit
+
+(** [spawn_thread t i f] spawns an additional fiber of process [i]
+    sharing its replica — the model's multi-threaded processes
+    (Section 3). Operations of concurrent threads overlap, so the
+    recorded program order of the process is a partial order. Threads of
+    one process must not both join the same (global or subset) barrier
+    episode. *)
+val spawn_thread : t -> int -> (proc -> unit) -> unit
+
+(** [run t] runs the simulation to completion and returns the final
+    virtual time. *)
+val run : t -> float
+
+(** {1 Memory operations} *)
+
+(** [read p ?label loc] returns the current value of [loc] in the view
+    selected by [label] (default [Causal]). Non-blocking except in
+    demand propagation mode when [loc] has a pending invalidation. *)
+val read : proc -> ?label:Mc_history.Op.label -> Mc_history.Op.location -> int
+
+(** [write p loc v] installs [v] at [loc] locally and broadcasts the
+    update. Non-blocking. *)
+val write : proc -> Mc_history.Op.location -> int -> unit
+
+(** {1 Counter objects (Section 5.3)} *)
+
+(** [init_counter p loc v] initializes an abstract counter. Counter
+    locations must only be accessed via [decrement], [await] and
+    [read]. *)
+val init_counter : proc -> Mc_history.Op.location -> int -> unit
+
+(** [decrement p loc ~amount] atomically subtracts [amount]; decrements
+    commute, so concurrent decrements converge without locking. *)
+val decrement : proc -> Mc_history.Op.location -> amount:int -> unit
+
+(** {1 Synchronization operations} *)
+
+val read_lock : proc -> Mc_history.Op.lock_name -> unit
+val read_unlock : proc -> Mc_history.Op.lock_name -> unit
+val write_lock : proc -> Mc_history.Op.lock_name -> unit
+val write_unlock : proc -> Mc_history.Op.lock_name -> unit
+
+(** [barrier p] joins the next barrier episode; returns when every
+    process has arrived and all pre-barrier updates are applied
+    locally. *)
+val barrier : proc -> unit
+
+(** [barrier_subset p members] joins the next barrier episode of the
+    given process subset (Section 3.1.2). The calling process must be a
+    member; every member must eventually call it with the same set. *)
+val barrier_subset : proc -> int list -> unit
+
+(** [await p loc v] blocks until [loc] holds [v] in the view selected by
+    [config.await_label]. *)
+val await : proc -> Mc_history.Op.location -> int -> unit
+
+(** [compute p cost] charges [cost] units of local computation time. *)
+val compute : proc -> float -> unit
+
+(** {1 Results and statistics} *)
+
+(** [history t] is the recorded history ([config.record] must be set). *)
+val history : t -> Mc_history.History.t
+
+(** [peek t ~proc loc] reads the causal view of a replica from outside
+    any fiber (for result extraction after [run]). *)
+val peek : t -> proc:int -> Mc_history.Op.location -> int
+
+(** [wait_summaries t] gives the distribution of blocking time per
+    operation kind ("read", "write_lock", "barrier", ...). *)
+val wait_summaries : t -> (string * Mc_util.Stats.Summary.t) list
+
+(** [op_counts t] counts operations issued per kind. *)
+val op_counts : t -> (string * int) list

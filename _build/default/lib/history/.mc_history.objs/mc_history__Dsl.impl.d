@@ -1,0 +1,1 @@
+lib/history/dsl.ml: List Op Recorder

@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Format Hashtbl List Mc_util Op Option Printf

@@ -1,0 +1,1 @@
+lib/history/recorder.ml: Array Hashtbl History List Op Printf

@@ -1,0 +1,1 @@
+lib/history/render.ml: Array Buffer Format Fun History List Mc_util Op Printf String

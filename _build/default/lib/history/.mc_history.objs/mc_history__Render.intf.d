@@ -1,0 +1,1 @@
+lib/history/render.mli: History

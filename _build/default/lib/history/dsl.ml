@@ -1,0 +1,28 @@
+type spec = { kind : Op.kind; sync_seq : int }
+
+let mk ?(seq = -1) kind = { kind; sync_seq = seq }
+
+let w loc value = mk (Op.Write { loc; value })
+let rp loc value = mk (Op.Read { loc; label = Op.PRAM; value })
+let rc loc value = mk (Op.Read { loc; label = Op.Causal; value })
+let dec loc ~amount ~observed = mk (Op.Decrement { loc; amount; observed })
+let wl ~seq l = mk ~seq (Op.Write_lock l)
+let wu ~seq l = mk ~seq (Op.Write_unlock l)
+let rl ~seq l = mk ~seq (Op.Read_lock l)
+let ru ~seq l = mk ~seq (Op.Read_unlock l)
+let bar k = mk (Op.Barrier k)
+let barg episode members = mk (Op.Barrier_group { episode; members })
+let await loc value = mk (Op.Await { loc; value })
+
+let make ~procs per_proc =
+  if List.length per_proc <> procs then
+    invalid_arg "Dsl.make: per-process list length mismatch";
+  let recorder = Recorder.create ~procs in
+  List.iteri
+    (fun proc specs ->
+      List.iter
+        (fun { kind; sync_seq } ->
+          ignore (Recorder.record recorder ~proc ~sync_seq kind))
+        specs)
+    per_proc;
+  Recorder.history recorder

@@ -1,0 +1,39 @@
+(** A small DSL for writing histories by hand in tests and examples.
+
+    A history is given as one operation list per process; operations of a
+    process are totally ordered in program order, in list order. Lock
+    operations take an explicit [seq] argument giving the global grant
+    order at the lock manager (ties across processes are what make
+    hand-written interleavings expressive). *)
+
+type spec
+
+(** {2 Memory operations} *)
+
+val w : Op.location -> Op.value -> spec
+(** write *)
+
+val rp : Op.location -> Op.value -> spec
+(** PRAM-labelled read returning the given value *)
+
+val rc : Op.location -> Op.value -> spec
+(** Causal-labelled read returning the given value *)
+
+val dec : Op.location -> amount:Op.value -> observed:Op.value -> spec
+(** counter-object decrement *)
+
+(** {2 Synchronization operations} *)
+
+val wl : seq:int -> Op.lock_name -> spec
+val wu : seq:int -> Op.lock_name -> spec
+val rl : seq:int -> Op.lock_name -> spec
+val ru : seq:int -> Op.lock_name -> spec
+val bar : int -> spec
+
+(** [barg episode members] — a subset barrier (Section 3.1.2). *)
+val barg : int -> int list -> spec
+val await : Op.location -> Op.value -> spec
+
+(** [make ~procs per_proc] builds the history. [per_proc] must have
+    [procs] elements; element [i] is process [i]'s program. *)
+val make : procs:int -> spec list list -> History.t

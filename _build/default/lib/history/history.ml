@@ -1,0 +1,573 @@
+module Relation = Mc_util.Relation
+
+type t = {
+  procs : int;
+  ops : Op.t array;
+  writers : (Op.location * Op.value, int list) Hashtbl.t;
+  (* memoized derived relations *)
+  mutable program_order_memo : Relation.t option;
+  mutable reads_from_memo : Relation.t option;
+  mutable lock_order_memo : Relation.t option;
+  mutable barrier_order_memo : Relation.t option;
+  mutable await_order_memo : Relation.t option;
+  mutable sync_reduced_memo : Relation.t option;
+  mutable causality_memo : Relation.t option;
+  causal_rel_memo : Relation.t option array;
+  pram_rel_memo : Relation.t option array;
+}
+
+let create ~procs ops =
+  if procs <= 0 then invalid_arg "History.create: need at least one process";
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if op.id <> i then
+        invalid_arg
+          (Printf.sprintf "History.create: op at index %d has id %d" i op.id);
+      if op.proc < 0 || op.proc >= procs then
+        invalid_arg
+          (Printf.sprintf "History.create: op %d has process %d out of range" i
+             op.proc))
+    ops;
+  let writers = Hashtbl.create 64 in
+  Array.iter
+    (fun (op : Op.t) ->
+      match Op.writes_value op with
+      | Some (loc, v) ->
+        let key = (loc, v) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt writers key) in
+        Hashtbl.replace writers key (op.id :: prev)
+      | None -> ())
+    ops;
+  {
+    procs;
+    ops;
+    writers;
+    program_order_memo = None;
+    reads_from_memo = None;
+    lock_order_memo = None;
+    barrier_order_memo = None;
+    await_order_memo = None;
+    sync_reduced_memo = None;
+    causality_memo = None;
+    causal_rel_memo = Array.make procs None;
+    pram_rel_memo = Array.make procs None;
+  }
+
+let procs t = t.procs
+let ops t = t.ops
+let length t = Array.length t.ops
+let op t i = t.ops.(i)
+let initial_value _t _loc = 0
+
+let writers_of t loc v =
+  Option.value ~default:[] (Hashtbl.find_opt t.writers (loc, v)) |> List.sort compare
+
+(* Memoization helper over the mutable record fields. *)
+let with_memo get set t compute =
+  match get t with
+  | Some r -> r
+  | None ->
+    let r = compute t in
+    set t (Some r);
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Program order                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compute_program_order t =
+  let n = length t in
+  let r = Relation.create n in
+  (* Group operations by process, then add o1 -> o2 whenever the response
+     of o1 precedes the invocation of o2 (both events process-local). *)
+  let by_proc = Array.make t.procs [] in
+  Array.iter
+    (fun (o : Op.t) -> by_proc.(o.proc) <- o :: by_proc.(o.proc))
+    t.ops;
+  Array.iter
+    (fun ops_of_p ->
+      let arr = Array.of_list ops_of_p in
+      let len = Array.length arr in
+      for a = 0 to len - 1 do
+        for b = 0 to len - 1 do
+          let (o1 : Op.t) = arr.(a) and (o2 : Op.t) = arr.(b) in
+          if o1.id <> o2.id && o1.resp_seq < o2.inv_seq then
+            Relation.add r o1.id o2.id
+        done
+      done)
+    by_proc;
+  r
+
+let program_order t =
+  with_memo
+    (fun t -> t.program_order_memo)
+    (fun t v -> t.program_order_memo <- v)
+    t compute_program_order
+
+(* ------------------------------------------------------------------ *)
+(* Reads-from                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compute_reads_from t =
+  let n = length t in
+  let r = Relation.create n in
+  Array.iter
+    (fun (o : Op.t) ->
+      match Op.reads_value o with
+      | Some (loc, v) ->
+        List.iter
+          (fun w -> if w <> o.id then Relation.add r w o.id)
+          (writers_of t loc v)
+      | None -> ())
+    t.ops;
+  r
+
+let reads_from t =
+  with_memo
+    (fun t -> t.reads_from_memo)
+    (fun t v -> t.reads_from_memo <- v)
+    t compute_reads_from
+
+(* ------------------------------------------------------------------ *)
+(* Lock order                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type epoch = Write_epoch of int list | Read_epoch of int list
+
+(* Group the lock operations of one lock object, sorted by the manager
+   grant order, into epochs: each write critical section is its own epoch;
+   maximal runs of read lock/unlock operations form shared epochs. *)
+let epochs_of_lock ops_sorted =
+  let finish current acc =
+    match current with
+    | [] -> acc
+    | ops -> Read_epoch (List.rev ops) :: acc
+  in
+  let rec walk acc current = function
+    | [] -> List.rev (finish current acc)
+    | (o : Op.t) :: rest -> (
+      match o.kind with
+      | Op.Write_lock _ -> (
+        let acc = finish current acc in
+        (* consume until the matching write unlock by the same process *)
+        match rest with
+        | (u : Op.t) :: rest' when u.proc = o.proc
+                                   && (match u.kind with
+                                      | Op.Write_unlock _ -> true
+                                      | _ -> false) ->
+          walk (Write_epoch [ o.id; u.id ] :: acc) [] rest'
+        | _ ->
+          (* unmatched write lock (end of history inside a critical
+             section): epoch contains just the lock operation *)
+          walk (Write_epoch [ o.id ] :: acc) [] rest)
+      | Op.Read_lock _ | Op.Read_unlock _ -> walk acc (o.id :: current) rest
+      | _ -> walk acc current rest)
+  in
+  walk [] [] ops_sorted
+
+let epoch_ops = function Write_epoch l -> l | Read_epoch l -> l
+
+let compute_lock_order t =
+  let n = length t in
+  let r = Relation.create n in
+  (* bucket lock operations per lock object *)
+  let by_lock = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match Op.lock_of o with
+      | Some l ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_lock l) in
+        Hashtbl.replace by_lock l (o :: prev)
+      | None -> ())
+    t.ops;
+  Hashtbl.iter
+    (fun _lock ops_of_l ->
+      let sorted =
+        List.sort
+          (fun (a : Op.t) (b : Op.t) -> compare a.sync_seq b.sync_seq)
+          ops_of_l
+      in
+      let epochs = Array.of_list (epochs_of_lock sorted) in
+      (* all operations of an earlier epoch precede all of a later epoch *)
+      for e1 = 0 to Array.length epochs - 1 do
+        for e2 = e1 + 1 to Array.length epochs - 1 do
+          List.iter
+            (fun a ->
+              List.iter (fun b -> Relation.add r a b) (epoch_ops epochs.(e2)))
+            (epoch_ops epochs.(e1))
+        done
+      done;
+      (* within a write epoch, lock precedes unlock *)
+      Array.iter
+        (function
+          | Write_epoch [ a; b ] -> Relation.add r a b
+          | Write_epoch _ -> ()
+          | Read_epoch ops ->
+            (* read lock precedes its matching unlock: same process, the
+               unlock that follows it in the epoch *)
+            let open_locks = Hashtbl.create 4 in
+            List.iter
+              (fun id ->
+                let o = t.ops.(id) in
+                match o.kind with
+                | Op.Read_lock _ -> Hashtbl.replace open_locks o.proc id
+                | Op.Read_unlock _ -> (
+                  match Hashtbl.find_opt open_locks o.proc with
+                  | Some lid ->
+                    Relation.add r lid id;
+                    Hashtbl.remove open_locks o.proc
+                  | None -> ())
+                | _ -> ())
+              ops)
+        epochs)
+    by_lock;
+  r
+
+let lock_order t =
+  with_memo
+    (fun t -> t.lock_order_memo)
+    (fun t v -> t.lock_order_memo <- v)
+    t compute_lock_order
+
+(* ------------------------------------------------------------------ *)
+(* Barrier order                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compute_barrier_order t =
+  let n = length t in
+  let r = Relation.create n in
+  let po = program_order t in
+  (* (member set, episode) -> barrier op ids; a plain barrier spans all
+     processes *)
+  let episodes = Hashtbl.create 8 in
+  let add key id =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt episodes key) in
+    Hashtbl.replace episodes key (id :: prev)
+  in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Barrier k -> add ([], k) o.id
+      | Op.Barrier_group { episode; members } ->
+        add (List.sort_uniq compare members, episode) o.id
+      | _ -> ())
+    t.ops;
+  Hashtbl.iter
+    (fun _k barrier_ids ->
+      List.iter
+        (fun bid ->
+          let b = t.ops.(bid) in
+          Array.iter
+            (fun (o : Op.t) ->
+              if o.proc = b.proc && o.id <> b.id then begin
+                if Relation.mem po o.id b.id then
+                  (* o ->j bkj, hence o => bki for every i *)
+                  List.iter (fun bid' -> if bid' <> o.id then Relation.add r o.id bid') barrier_ids
+                else if Relation.mem po b.id o.id then
+                  List.iter (fun bid' -> if bid' <> o.id then Relation.add r bid' o.id) barrier_ids
+              end)
+            t.ops)
+        barrier_ids)
+    episodes;
+  r
+
+let barrier_order t =
+  with_memo
+    (fun t -> t.barrier_order_memo)
+    (fun t v -> t.barrier_order_memo <- v)
+    t compute_barrier_order
+
+(* ------------------------------------------------------------------ *)
+(* Await order                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compute_await_order t =
+  let n = length t in
+  let r = Relation.create n in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Await { loc; value } ->
+        (* the unique write installing the awaited value precedes the
+           await; awaiting the initial value has no incoming edge *)
+        List.iter
+          (fun w -> if w <> o.id then Relation.add r w o.id)
+          (writers_of t loc value)
+      | _ -> ())
+    t.ops;
+  r
+
+let await_order t =
+  with_memo
+    (fun t -> t.await_order_memo)
+    (fun t v -> t.await_order_memo <- v)
+    t compute_await_order
+
+let sync_order t =
+  Relation.union (lock_order t) (Relation.union (barrier_order t) (await_order t))
+
+let compute_sync_reduced t =
+  let reduce r =
+    if Relation.is_acyclic r then Relation.transitive_reduction r else r
+  in
+  Relation.union
+    (reduce (lock_order t))
+    (Relation.union (reduce (barrier_order t)) (reduce (await_order t)))
+
+let sync_order_reduced t =
+  with_memo
+    (fun t -> t.sync_reduced_memo)
+    (fun t v -> t.sync_reduced_memo <- v)
+    t compute_sync_reduced
+
+(* ------------------------------------------------------------------ *)
+(* Causality                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let causality_base t =
+  Relation.union (program_order t) (Relation.union (reads_from t) (sync_order t))
+
+let compute_causality t =
+  let closure = Relation.transitive_closure (causality_base t) in
+  (* a cyclic causality relation means some op precedes itself *)
+  let cyclic = ref false in
+  for i = 0 to length t - 1 do
+    if Relation.mem closure i i then cyclic := true
+  done;
+  if !cyclic then invalid_arg "History.causality: cyclic causality relation";
+  closure
+
+let causality t =
+  with_memo
+    (fun t -> t.causality_memo)
+    (fun t v -> t.causality_memo <- v)
+    t compute_causality
+
+let causality_is_acyclic t =
+  match causality t with
+  | (_ : Relation.t) -> true
+  | exception Invalid_argument _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Process-relative relations                                          *)
+(* ------------------------------------------------------------------ *)
+
+let causal_relation t i =
+  match t.causal_rel_memo.(i) with
+  | Some r -> r
+  | None ->
+    let keep id =
+      let o = t.ops.(id) in
+      o.proc = i || Op.is_write_like o || Op.is_sync o
+    in
+    let r = Relation.restrict (causality t) keep in
+    t.causal_rel_memo.(i) <- Some r;
+    r
+
+let pram_relation t i =
+  match t.pram_rel_memo.(i) with
+  | Some r -> r
+  | None ->
+    let touches_i rel =
+      let n = length t in
+      let out = Relation.create n in
+      let add acc a b =
+        ignore acc;
+        if t.ops.(a).proc = i || t.ops.(b).proc = i then Relation.add out a b
+      in
+      Relation.fold rel add ();
+      out
+    in
+    let base =
+      Relation.union (program_order t)
+        (Relation.union
+           (touches_i (sync_order_reduced t))
+           (touches_i (reads_from t)))
+    in
+    let closure = Relation.transitive_closure base in
+    let keep id =
+      let o = t.ops.(id) in
+      not (Op.is_memory_read o && o.proc <> i)
+    in
+    let r = Relation.restrict closure keep in
+    t.pram_rel_memo.(i) <- Some r;
+    r
+
+let group_relation t ~reader ~group =
+  if not (List.mem reader group) then
+    invalid_arg "History.group_relation: reader must be a group member";
+  List.iter
+    (fun m ->
+      if m < 0 || m >= t.procs then
+        invalid_arg "History.group_relation: member out of range")
+    group;
+  let in_group = Array.make t.procs false in
+  List.iter (fun m -> in_group.(m) <- true) group;
+  let touches_group rel =
+    let n = length t in
+    let out = Relation.create n in
+    Relation.fold rel
+      (fun () a b ->
+        if in_group.(t.ops.(a).proc) || in_group.(t.ops.(b).proc) then
+          Relation.add out a b)
+      ();
+    out
+  in
+  let base =
+    Relation.union (program_order t)
+      (Relation.union
+         (touches_group (sync_order_reduced t))
+         (touches_group (reads_from t)))
+  in
+  let closure = Relation.transitive_closure base in
+  let keep id =
+    let o = t.ops.(id) in
+    not (Op.is_memory_read o && o.proc <> reader)
+  in
+  Relation.restrict closure keep
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type violation = { op_id : int option; reason : string }
+
+let well_formedness_violations t =
+  let violations = ref [] in
+  let report ?op_id reason = violations := { op_id; reason } :: !violations in
+  (* 1. event sequence numbers: invocation precedes response; per-process
+     event numbers are distinct *)
+  let seen_events = Hashtbl.create 64 in
+  Array.iter
+    (fun (o : Op.t) ->
+      if o.inv_seq >= o.resp_seq then
+        report ~op_id:o.id "invocation event does not precede response event";
+      List.iter
+        (fun seq ->
+          let key = (o.proc, seq) in
+          if Hashtbl.mem seen_events key then
+            report ~op_id:o.id
+              (Printf.sprintf "duplicate event sequence number %d on process %d"
+                 seq o.proc)
+          else Hashtbl.add seen_events key ())
+        [ o.inv_seq; o.resp_seq ])
+    t.ops;
+  (* 2. at most one pending invocation per (process, object) at a time *)
+  let object_of (o : Op.t) =
+    match o.kind with
+    | Op.Read { loc; _ } | Op.Write { loc; _ } | Op.Decrement { loc; _ }
+    | Op.Await { loc; _ } ->
+      Some ("loc:" ^ loc)
+    | Op.Read_lock l | Op.Read_unlock l | Op.Write_lock l | Op.Write_unlock l ->
+      Some ("lock:" ^ l)
+    | Op.Barrier _ | Op.Barrier_group _ -> None
+  in
+  Array.iter
+    (fun (o1 : Op.t) ->
+      Array.iter
+        (fun (o2 : Op.t) ->
+          if o1.id < o2.id && o1.proc = o2.proc then
+            match object_of o1, object_of o2 with
+            | Some obj1, Some obj2 when obj1 = obj2 ->
+              (* overlapping executions on the same object *)
+              let overlap =
+                not (o1.resp_seq < o2.inv_seq || o2.resp_seq < o1.inv_seq)
+              in
+              if overlap then
+                report ~op_id:o2.id
+                  (Printf.sprintf
+                     "two pending invocations on %s by process %d (ops %d, %d)"
+                     obj1 o1.proc o1.id o2.id)
+            | _ -> ())
+        t.ops)
+    t.ops;
+  (* 3. every unlock has a preceding matching lock by the same process,
+     and global lock discipline holds in the manager grant order *)
+  let by_lock = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match Op.lock_of o with
+      | Some l ->
+        if o.sync_seq < 0 then
+          report ~op_id:o.id "lock operation without a manager grant order";
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_lock l) in
+        Hashtbl.replace by_lock l (o :: prev)
+      | None -> ())
+    t.ops;
+  Hashtbl.iter
+    (fun lock ops_of_l ->
+      let sorted =
+        List.sort
+          (fun (a : Op.t) (b : Op.t) -> compare a.sync_seq b.sync_seq)
+          ops_of_l
+      in
+      let writer = ref None in
+      let readers = Hashtbl.create 4 in
+      List.iter
+        (fun (o : Op.t) ->
+          match o.kind with
+          | Op.Write_lock _ ->
+            if !writer <> None || Hashtbl.length readers > 0 then
+              report ~op_id:o.id
+                (Printf.sprintf "write lock %s granted while held" lock);
+            writer := Some o.proc
+          | Op.Write_unlock _ ->
+            if !writer <> Some o.proc then
+              report ~op_id:o.id
+                (Printf.sprintf "write unlock of %s without matching lock" lock);
+            writer := None
+          | Op.Read_lock _ ->
+            if !writer <> None then
+              report ~op_id:o.id
+                (Printf.sprintf "read lock %s granted while write-held" lock);
+            Hashtbl.replace readers o.proc
+              (1 + Option.value ~default:0 (Hashtbl.find_opt readers o.proc))
+          | Op.Read_unlock _ -> (
+            match Hashtbl.find_opt readers o.proc with
+            | Some 1 -> Hashtbl.remove readers o.proc
+            | Some k -> Hashtbl.replace readers o.proc (k - 1)
+            | None ->
+              report ~op_id:o.id
+                (Printf.sprintf "read unlock of %s without matching lock" lock))
+          | _ -> ())
+        sorted)
+    by_lock;
+  (* 4. barrier operations are totally ordered w.r.t. all operations of
+     their process *)
+  let po = program_order t in
+  Array.iter
+    (fun (b : Op.t) ->
+      match b.kind with
+      | Op.Barrier _ | Op.Barrier_group _ ->
+        Array.iter
+          (fun (o : Op.t) ->
+            if o.proc = b.proc && o.id <> b.id then
+              if
+                (not (Relation.mem po o.id b.id))
+                && not (Relation.mem po b.id o.id)
+              then
+                report ~op_id:b.id
+                  (Printf.sprintf "barrier op %d overlaps op %d of process %d"
+                     b.id o.id b.proc))
+          t.ops
+      | _ -> ())
+    t.ops;
+  (* unique-writes assumption *)
+  Hashtbl.iter
+    (fun (loc, v) ids ->
+      match ids with
+      | [] | [ _ ] -> ()
+      | _ ->
+        report
+          (Printf.sprintf "value %d written to %s by %d distinct operations" v
+             loc (List.length ids)))
+    t.writers;
+  List.rev !violations
+
+let is_well_formed t = well_formedness_violations t = []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>history (%d processes, %d operations):@ " t.procs
+    (length t);
+  Array.iter (fun o -> Format.fprintf fmt "%a@ " Op.pp o) t.ops;
+  Format.fprintf fmt "@]"

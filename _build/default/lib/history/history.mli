@@ -1,0 +1,123 @@
+(** Global histories and their derived relations (paper, Section 3).
+
+    A history is a pair [(Op, ⇝)]: the operations of all processes plus a
+    causality relation [⇝] defined as the transitive closure of the union
+    of program order [→], the reads-from relation [↦], and the
+    synchronization order [⤇] (itself the union of the lock, barrier and
+    await orders).
+
+    All relations returned by this module are {!Mc_util.Relation.t} values
+    over operation ids. *)
+
+type t
+
+(** [create ~procs ops] builds a history over processes [0..procs-1].
+    Operation ids must equal their index in [ops]. Raises
+    [Invalid_argument] if ids are out of order or a process id is out of
+    range. *)
+val create : procs:int -> Op.t array -> t
+
+val procs : t -> int
+val ops : t -> Op.t array
+val length : t -> int
+val op : t -> int -> Op.t
+
+(** [initial_value h loc] is the value a location holds before any write
+    (always 0 in this implementation). *)
+val initial_value : t -> Op.location -> Op.value
+
+(** {1 Well-formedness (the four conditions of Section 3)}
+
+    A local history is well-formed when: the interface ordering is
+    consistent with the program (encoded here as: event sequence numbers
+    are distinct and each invocation precedes its response); at any time
+    at most one invocation is pending per object; every unlock has a
+    preceding matching lock by the same process; and barrier operations
+    are totally ordered with respect to all operations of the process. *)
+
+type violation = { op_id : int option; reason : string }
+
+(** [well_formedness_violations h] returns all violations found, empty if
+    well-formed. Also validates global lock discipline (write locks
+    exclusive, readers excluded while a writer holds the lock) and the
+    unique-writes-per-location assumption of Section 3. *)
+val well_formedness_violations : t -> violation list
+
+val is_well_formed : t -> bool
+
+(** {1 Derived relations} *)
+
+(** [program_order h] is [→]: the union of the per-process partial orders.
+    [o1 →i o2] iff both are by process [i] and the response event of [o1]
+    precedes the invocation event of [o2]. *)
+val program_order : t -> Mc_util.Relation.t
+
+(** [reads_from h] is [↦]: edges from each write-like operation to the
+    operations that return its value (unique-writes assumption). Reads of
+    the initial value have no incoming edge. *)
+val reads_from : t -> Mc_util.Relation.t
+
+(** [lock_order h] is [⤇lock]: built per lock object from the
+    manager-assigned grant order ([sync_seq]). Operations are grouped into
+    epochs — one write epoch per critical section, maximal groups of
+    overlapping read locks — with every operation of an earlier epoch
+    ordered before every operation of a later epoch. *)
+val lock_order : t -> Mc_util.Relation.t
+
+(** [barrier_order h] is [⤇bar]: for every operation [o] of process [j]
+    with [o →j bkj], an edge [o ⤇ bki] for every process [i], and
+    symmetrically from [bki] to every operation after [bkj] in [→j]. *)
+val barrier_order : t -> Mc_util.Relation.t
+
+(** [await_order h] is [⤇await]: an edge from the unique write [w(x)v] to
+    every [await(x = v)]. *)
+val await_order : t -> Mc_util.Relation.t
+
+(** [sync_order h] is [⤇]: the union of the three synchronization
+    orders. *)
+val sync_order : t -> Mc_util.Relation.t
+
+(** [sync_order_reduced h] is [⤇p]: the union of the transitive
+    reductions of the three synchronization orders, as used by the PRAM
+    order (Definition 3, step 1). *)
+val sync_order_reduced : t -> Mc_util.Relation.t
+
+(** [causality h] is [⇝]: the transitive closure of
+    [→ ∪ ↦ ∪ ⤇]. Raises [Invalid_argument] if the result is cyclic (the
+    paper restricts attention to histories with acyclic causality). *)
+val causality : t -> Mc_util.Relation.t
+
+(** [causality_is_acyclic h] checks acyclicity without raising. *)
+val causality_is_acyclic : t -> bool
+
+(** {1 Process-relative relations (Definitions 2 and 3)} *)
+
+(** [causal_relation h i] is [⇝i,C]: the causality relation restricted to
+    the operations that may affect process [i] — the operations of [i]
+    plus all write-like and synchronization operations of other
+    processes. *)
+val causal_relation : t -> int -> Mc_util.Relation.t
+
+(** [pram_relation h i] is [⇝i,P]: the transitive closure of
+    [→ ∪ ⤇p,i ∪ ↦i] (reduced sync edges and reads-from edges incident to
+    process [i]) projected on all operations excluding reads not of
+    process [i]. *)
+val pram_relation : t -> int -> Mc_util.Relation.t
+
+(** [group_relation h ~reader ~group] is [⇝i,G], the Section-3.2
+    interpolation between the two: the transitive closure of program
+    order together with the reduced synchronization edges and reads-from
+    edges incident to {e any} member of [group], projected on all
+    operations excluding memory reads not of [reader]. [group = [reader]]
+    coincides with {!pram_relation}; a group of all processes yields the
+    same read verdicts as {!causal_relation}. [reader] must be a
+    member. *)
+val group_relation : t -> reader:int -> group:int list -> Mc_util.Relation.t
+
+(** {1 Writes} *)
+
+(** [writers_of h loc v] lists ids of write-like operations installing
+    value [v] at [loc]. With unique writes there is at most one. *)
+val writers_of : t -> Op.location -> Op.value -> int list
+
+val pp : Format.formatter -> t -> unit

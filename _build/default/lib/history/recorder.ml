@@ -1,0 +1,66 @@
+type token = { proc : int; inv_seq : int }
+
+type t = {
+  n_procs : int;
+  mutable ops_rev : Op.t list;
+  mutable count : int;
+  event_counters : int array;
+  grant_counters : (string, int ref) Hashtbl.t;
+}
+
+let create ~procs =
+  if procs <= 0 then invalid_arg "Recorder.create: need at least one process";
+  {
+    n_procs = procs;
+    ops_rev = [];
+    count = 0;
+    event_counters = Array.make procs 0;
+    grant_counters = Hashtbl.create 8;
+  }
+
+let procs t = t.n_procs
+
+let check_proc t proc =
+  if proc < 0 || proc >= t.n_procs then
+    invalid_arg (Printf.sprintf "Recorder: process %d out of range" proc)
+
+let next_event t proc =
+  let c = t.event_counters.(proc) in
+  t.event_counters.(proc) <- c + 1;
+  c
+
+let add_op t ~proc ~inv_seq ~resp_seq ~sync_seq kind =
+  let id = t.count in
+  t.count <- id + 1;
+  let op : Op.t = { id; proc; kind; inv_seq; resp_seq; sync_seq } in
+  t.ops_rev <- op :: t.ops_rev;
+  id
+
+let record t ~proc ?(sync_seq = -1) kind =
+  check_proc t proc;
+  let inv_seq = next_event t proc in
+  let resp_seq = next_event t proc in
+  add_op t ~proc ~inv_seq ~resp_seq ~sync_seq kind
+
+let start t ~proc =
+  check_proc t proc;
+  { proc; inv_seq = next_event t proc }
+
+let finish t token ?(sync_seq = -1) kind =
+  let resp_seq = next_event t token.proc in
+  add_op t ~proc:token.proc ~inv_seq:token.inv_seq ~resp_seq ~sync_seq kind
+
+let grant_seq t lock =
+  match Hashtbl.find_opt t.grant_counters lock with
+  | Some r ->
+    incr r;
+    !r
+  | None ->
+    Hashtbl.add t.grant_counters lock (ref 0);
+    0
+
+let op_count t = t.count
+
+let history t =
+  let arr = Array.of_list (List.rev t.ops_rev) in
+  History.create ~procs:t.n_procs arr

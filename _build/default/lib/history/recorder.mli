@@ -1,0 +1,37 @@
+(** Incremental history recording for runtime systems.
+
+    The DSM runtime records every operation it executes through a
+    recorder; the result can then be checked offline against the formal
+    consistency definitions. Event sequence numbers are process-local and
+    monotone, so operations recorded sequentially by one fiber are totally
+    ordered in program order, while [start]/[finish] allow overlapping
+    (non-blocking) operations. *)
+
+type t
+
+val create : procs:int -> t
+
+val procs : t -> int
+
+(** [record t ~proc ?sync_seq kind] records a complete operation whose
+    invocation and response are adjacent events. Returns the op id. *)
+val record : t -> proc:int -> ?sync_seq:int -> Op.kind -> int
+
+(** [start t ~proc] marks an invocation event and returns a token. *)
+type token
+
+val start : t -> proc:int -> token
+
+(** [finish t token ?sync_seq kind] records the response for a started
+    operation. Returns the op id. *)
+val finish : t -> token -> ?sync_seq:int -> Op.kind -> int
+
+(** [grant_seq t lock] returns the next grant-order number for the named
+    lock object (used by lock managers to stamp lock/unlock operations). *)
+val grant_seq : t -> string -> int
+
+(** [op_count t] is the number of operations recorded so far. *)
+val op_count : t -> int
+
+(** [history t] snapshots the recorded operations into a history. *)
+val history : t -> History.t

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Float Latency List Mc_sim Mc_util Printf

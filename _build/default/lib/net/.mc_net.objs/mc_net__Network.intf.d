@@ -1,0 +1,1 @@
+lib/net/network.mli: Latency Mc_sim Mc_util

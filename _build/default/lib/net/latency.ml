@@ -1,0 +1,24 @@
+type t =
+  | Constant of float
+  | Uniform of Mc_util.Rng.t * float * float
+  | Matrix of float array array
+  | Jitter of t * Mc_util.Rng.t * float
+
+let constant d =
+  if d < 0. then invalid_arg "Latency.constant: negative latency";
+  Constant d
+
+let uniform rng ~lo ~hi =
+  if lo < 0. || hi < lo then invalid_arg "Latency.uniform: bad range";
+  Uniform (rng, lo, hi)
+
+let matrix m = Matrix m
+let jitter base rng ~spread = Jitter (base, rng, spread)
+
+let rec sample t ~src ~dst =
+  match t with
+  | Constant d -> d
+  | Uniform (rng, lo, hi) -> Mc_util.Rng.float_in rng lo hi
+  | Matrix m -> m.(src).(dst)
+  | Jitter (base, rng, spread) ->
+    sample base ~src ~dst +. Mc_util.Rng.float rng spread

@@ -1,0 +1,123 @@
+module Engine = Mc_sim.Engine
+
+type 'msg link = {
+  mutable last_delivery : float; (* clamp deliveries to preserve FIFO *)
+  mutable paused : bool;
+  mutable held : (int * string * 'msg) list; (* reversed: (bytes, kind, msg) *)
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  n : int;
+  latency : Latency.t;
+  send_cost : float;
+  byte_cost : float;
+  send_free : float array; (* next time each node's sender is free *)
+  handlers : (src:int -> 'msg -> unit) option array;
+  links : 'msg link array array;
+  mutable messages : int;
+  mutable bytes : int;
+  kinds : Mc_util.Stats.Counters.t;
+  mutable latencies : Mc_util.Stats.Summary.t;
+}
+
+let create engine ~nodes ~latency ?(send_cost = 0.) ?(byte_cost = 0.) () =
+  if nodes <= 0 then invalid_arg "Network.create: need at least one node";
+  if send_cost < 0. || byte_cost < 0. then
+    invalid_arg "Network.create: negative cost";
+  {
+    engine;
+    n = nodes;
+    latency;
+    send_cost;
+    byte_cost;
+    send_free = Array.make nodes 0.;
+    handlers = Array.make nodes None;
+    links =
+      Array.init nodes (fun _ ->
+          Array.init nodes (fun _ ->
+              { last_delivery = 0.; paused = false; held = [] }));
+    messages = 0;
+    bytes = 0;
+    kinds = Mc_util.Stats.Counters.create ();
+    latencies = Mc_util.Stats.Summary.create ();
+  }
+
+let nodes t = t.n
+let engine t = t.engine
+
+let check_node t id =
+  if id < 0 || id >= t.n then
+    invalid_arg (Printf.sprintf "Network: node %d out of range 0..%d" id (t.n - 1))
+
+let set_handler t node f =
+  check_node t node;
+  t.handlers.(node) <- Some f
+
+let deliver t ~src ~dst msg =
+  match t.handlers.(dst) with
+  | Some f -> f ~src msg
+  | None ->
+    invalid_arg (Printf.sprintf "Network: node %d has no handler installed" dst)
+
+let transmit t ~src ~dst ~bytes ~kind msg =
+  let link = t.links.(src).(dst) in
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  Mc_util.Stats.Counters.incr t.kinds kind;
+  let now = Engine.now t.engine in
+  (* sender occupancy: consecutive sends from one node serialize *)
+  let depart = Float.max now t.send_free.(src) +. t.send_cost in
+  t.send_free.(src) <- depart;
+  let lat =
+    Latency.sample t.latency ~src ~dst +. (float_of_int bytes *. t.byte_cost)
+  in
+  Mc_util.Stats.Summary.add t.latencies lat;
+  (* FIFO per channel: never deliver before a previously-sent message. *)
+  let at = Float.max (depart +. lat) link.last_delivery in
+  link.last_delivery <- at;
+  Engine.schedule t.engine ~delay:(at -. now) (fun () -> deliver t ~src ~dst msg)
+
+let send t ~src ~dst ?(bytes = 64) ?(kind = "msg") msg =
+  check_node t src;
+  check_node t dst;
+  if src = dst then
+    (* Local loopback: delivered as an immediate event, no network cost. *)
+    Engine.schedule t.engine ~delay:0. (fun () -> deliver t ~src ~dst msg)
+  else begin
+    let link = t.links.(src).(dst) in
+    if link.paused then link.held <- (bytes, kind, msg) :: link.held
+    else transmit t ~src ~dst ~bytes ~kind msg
+  end
+
+let broadcast t ~src ?bytes ?kind msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst ?bytes ?kind msg
+  done
+
+let pause_link t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  t.links.(src).(dst).paused <- true
+
+let resume_link t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  let link = t.links.(src).(dst) in
+  link.paused <- false;
+  let held = List.rev link.held in
+  link.held <- [];
+  List.iter (fun (bytes, kind, msg) -> transmit t ~src ~dst ~bytes ~kind msg) held
+
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes
+let messages_by_kind t = Mc_util.Stats.Counters.to_list t.kinds
+let latency_summary t = t.latencies
+
+let reset_stats t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.latencies <- Mc_util.Stats.Summary.create ();
+  List.iter
+    (fun (kind, k) -> Mc_util.Stats.Counters.add t.kinds kind (-k))
+    (Mc_util.Stats.Counters.to_list t.kinds)

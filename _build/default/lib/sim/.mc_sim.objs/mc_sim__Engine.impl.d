@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Hashtbl List Mc_util Printexc Printf String

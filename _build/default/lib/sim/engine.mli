@@ -1,0 +1,89 @@
+(** Deterministic discrete-event simulation engine with cooperative
+    fibers.
+
+    Virtual time is a float (microseconds by convention). Events fire in
+    time order with FIFO tie-breaking, so a run is fully determined by the
+    program and its seed. Fibers are lightweight processes implemented
+    with OCaml effects: application code is written in direct style and
+    suspends into the engine whenever it blocks on a simulated resource
+    (message arrival, lock grant, barrier release, ...).
+
+    Typical use:
+    {[
+      let engine = Engine.create () in
+      Engine.spawn engine (fun () ->
+          Engine.delay engine 5.0;
+          ...);
+      Engine.run engine
+    ]} *)
+
+type t
+
+exception Deadlock of string
+(** Raised by {!run} when the event queue drains while fibers are still
+    blocked; the payload describes the stuck fibers. *)
+
+exception Fiber_failure of exn * Printexc.raw_backtrace
+(** Raised by {!run} when a fiber terminates with an uncaught exception. *)
+
+val create : unit -> t
+
+(** [now t] is the current virtual time. *)
+val now : t -> float
+
+(** [spawn t ?name f] creates a fiber running [f], started at the current
+    virtual time. [name] appears in deadlock diagnostics. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** [schedule t ~delay f] runs the plain callback [f] at [now + delay].
+    Callbacks must not suspend; they may resume suspended fibers. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [delay t d] suspends the calling fiber for [d] units of virtual time.
+    Must be called from within a fiber. *)
+val delay : t -> float -> unit
+
+(** [suspend t setup] suspends the calling fiber. [setup] is called
+    immediately with a [resume] closure; stash it wherever the wake-up
+    signal will come from (a message handler, a lock queue, ...). Calling
+    [resume v] schedules the fiber to continue with value [v] at the
+    then-current virtual time. [resume] must be called at most once. *)
+val suspend : t -> (('a -> unit) -> unit) -> 'a
+
+(** [run t] processes events until the queue is empty. Raises {!Deadlock}
+    if any spawned fiber has not finished by then, and {!Fiber_failure}
+    if a fiber raised. Returns the final virtual time. *)
+val run : t -> float
+
+(** [run_until t ~limit] is {!run} but stops once virtual time would
+    exceed [limit]; returns the stop time. Pending events/fibers are
+    abandoned without a deadlock check (used by fault-injection tests). *)
+val run_until : t -> limit:float -> float
+
+(** [live_fibers t] is the number of fibers spawned but not yet
+    finished. *)
+val live_fibers : t -> int
+
+(** [events_processed t] counts events executed so far. *)
+val events_processed : t -> int
+
+(** Condition variables for fibers: a wait/wake primitive used by locks,
+    barriers and awaits. *)
+module Cond : sig
+  type engine := t
+  type t
+
+  val create : unit -> t
+
+  (** [wait engine c] blocks the calling fiber until signalled. *)
+  val wait : engine -> t -> unit
+
+  (** [signal engine c] wakes the longest-waiting fiber, if any. *)
+  val signal : engine -> t -> unit
+
+  (** [broadcast engine c] wakes every waiting fiber. *)
+  val broadcast : engine -> t -> unit
+
+  (** [waiters c] is the number of fibers currently blocked. *)
+  val waiters : t -> int
+end

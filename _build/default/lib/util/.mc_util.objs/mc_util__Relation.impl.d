@@ -1,0 +1,1 @@
+lib/util/relation.ml: Array List Pqueue Printf

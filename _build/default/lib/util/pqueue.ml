@@ -1,0 +1,82 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0
+
+(* [lt a b] is the strict heap order: smaller priority first, then lower
+   insertion sequence so that equal priorities pop FIFO. *)
+let lt a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nheap = Array.make ncap entry in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~priority value =
+  let entry = { priority; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop_min q =
+  if q.size = 0 then raise Not_found;
+  let top = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  (top.priority, top.value)
+
+let peek_min q = if q.size = 0 then None else begin
+    let top = q.heap.(0) in
+    Some (top.priority, top.value)
+  end
+
+let drain q f =
+  while not (is_empty q) do
+    let priority, value = pop_min q in
+    f priority value
+  done

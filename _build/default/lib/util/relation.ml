@@ -1,0 +1,193 @@
+(* Bit-matrix representation: row i is a bitset of successors of i, packed
+   into an int array with [word_bits] bits per word. *)
+
+let word_bits = 62
+
+type t = { n : int; words : int; rows : int array array }
+
+let create n =
+  let words = if n = 0 then 0 else ((n - 1) / word_bits) + 1 in
+  { n; words; rows = Array.init n (fun _ -> Array.make words 0) }
+
+let size t = t.n
+
+let check t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg (Printf.sprintf "Relation: pair (%d, %d) out of range 0..%d" i j (t.n - 1))
+
+let add t i j =
+  check t i j;
+  let w = j / word_bits and b = j mod word_bits in
+  t.rows.(i).(w) <- t.rows.(i).(w) lor (1 lsl b)
+
+let mem t i j =
+  check t i j;
+  let w = j / word_bits and b = j mod word_bits in
+  t.rows.(i).(w) land (1 lsl b) <> 0
+
+let copy t =
+  { t with rows = Array.map Array.copy t.rows }
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Relation.union: size mismatch";
+  let r = copy a in
+  for i = 0 to a.n - 1 do
+    for w = 0 to a.words - 1 do
+      r.rows.(i).(w) <- r.rows.(i).(w) lor b.rows.(i).(w)
+    done
+  done;
+  r
+
+let or_row dst src words =
+  for w = 0 to words - 1 do
+    dst.(w) <- dst.(w) lor src.(w)
+  done
+
+(* Warshall's algorithm with bitset rows: if i reaches k, fold k's row in. *)
+let transitive_closure t =
+  let r = copy t in
+  for k = 0 to t.n - 1 do
+    let kw = k / word_bits and kb = k mod word_bits in
+    let krow = r.rows.(k) in
+    for i = 0 to t.n - 1 do
+      if i <> k && r.rows.(i).(kw) land (1 lsl kb) <> 0 then
+        or_row r.rows.(i) krow t.words
+    done
+  done;
+  r
+
+let successors t i =
+  let acc = ref [] in
+  for j = t.n - 1 downto 0 do
+    if mem t i j then acc := j :: !acc
+  done;
+  !acc
+
+let predecessors t j =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i j then acc := i :: !acc
+  done;
+  !acc
+
+let fold t f init =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      if mem t i j then acc := f !acc i j
+    done
+  done;
+  !acc
+
+let cardinal t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    for w = 0 to t.words - 1 do
+      (* popcount by Kernighan's loop; rows are sparse in practice *)
+      let x = ref t.rows.(i).(w) in
+      while !x <> 0 do
+        x := !x land (!x - 1);
+        incr count
+      done
+    done
+  done;
+  !count
+
+let equal a b =
+  a.n = b.n
+  && (let ok = ref true in
+      for i = 0 to a.n - 1 do
+        for w = 0 to a.words - 1 do
+          if a.rows.(i).(w) <> b.rows.(i).(w) then ok := false
+        done
+      done;
+      !ok)
+
+let subset a b =
+  a.n = b.n
+  && (let ok = ref true in
+      for i = 0 to a.n - 1 do
+        for w = 0 to a.words - 1 do
+          if a.rows.(i).(w) land lnot b.rows.(i).(w) <> 0 then ok := false
+        done
+      done;
+      !ok)
+
+let restrict t keep =
+  let r = create t.n in
+  for i = 0 to t.n - 1 do
+    if keep i then
+      for j = 0 to t.n - 1 do
+        if keep j && mem t i j then add r i j
+      done
+  done;
+  r
+
+let is_acyclic t =
+  (* Kahn's algorithm: repeatedly remove zero-in-degree nodes. *)
+  let indeg = Array.make t.n 0 in
+  for i = 0 to t.n - 1 do
+    List.iter (fun j -> indeg.(j) <- indeg.(j) + 1) (successors t i)
+  done;
+  let stack = ref [] in
+  for i = t.n - 1 downto 0 do
+    if indeg.(i) = 0 then stack := i :: !stack
+  done;
+  let removed = ref 0 in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+      stack := rest;
+      incr removed;
+      let f j =
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then stack := j :: !stack
+      in
+      List.iter f (successors t i);
+      loop ()
+  in
+  loop ();
+  !removed = t.n
+
+let topological_order t =
+  let indeg = Array.make t.n 0 in
+  for i = 0 to t.n - 1 do
+    List.iter (fun j -> if j <> i then indeg.(j) <- indeg.(j) + 1) (successors t i)
+  done;
+  (* Min-heap on indices for deterministic output. *)
+  let ready = Pqueue.create () in
+  for i = 0 to t.n - 1 do
+    if indeg.(i) = 0 then Pqueue.add ready ~priority:(float_of_int i) i
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Pqueue.is_empty ready) do
+    let _, i = Pqueue.pop_min ready in
+    order := i :: !order;
+    incr count;
+    let f j =
+      if j <> i then begin
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Pqueue.add ready ~priority:(float_of_int j) j
+      end
+    in
+    List.iter f (successors t i)
+  done;
+  if !count <> t.n then invalid_arg "Relation.topological_order: cyclic relation";
+  List.rev !order
+
+(* For an acyclic relation, edge (i, j) is redundant iff some other
+   successor k of i reaches j in the closure. *)
+let transitive_reduction t =
+  if not (is_acyclic t) then invalid_arg "Relation.transitive_reduction: cyclic relation";
+  let closure = transitive_closure t in
+  let r = create t.n in
+  for i = 0 to t.n - 1 do
+    let succs = successors t i in
+    let redundant j =
+      List.exists (fun k -> k <> j && mem closure k j) succs
+    in
+    List.iter (fun j -> if not (redundant j) then add r i j) succs
+  done;
+  r

@@ -1,0 +1,41 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    A small SplitMix64 implementation: every simulation component derives
+    its own independent stream from a root seed, so adding randomness to
+    one component never perturbs another. *)
+
+type t
+
+(** [make seed] creates a generator from a 64-bit seed. *)
+val make : int -> t
+
+(** [split t] derives a fresh, statistically independent generator and
+    advances [t]. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state. *)
+val copy : t -> t
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [float_in t lo hi] is uniform in [lo, hi). *)
+val float_in : t -> float -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t arr] picks a uniform element. Requires a non-empty array. *)
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,35 @@
+(** Streaming statistics accumulators and counters, used by the network
+    and DSM layers to report message counts, bytes, and latencies. *)
+
+(** Welford-style streaming summary of a sequence of floats. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+
+  (** [pp] prints "n=.. mean=.. sd=.. min=.. max=..". *)
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Named integer counters. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+
+  (** [merge a b] adds all of [b]'s counters into [a]. *)
+  val merge : t -> t -> unit
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,57 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~headers ?aligns rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | _ -> Array.make ncols Left
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  measure headers;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < ncols then Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  let rule_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~title ~headers ?aligns rows =
+  Printf.printf "\n== %s ==\n%s%!" title (render ~headers ?aligns rows)
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e9 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100. then Printf.sprintf "%.1f" x
+  else if Float.abs x >= 1. then Printf.sprintf "%.2f" x
+  else Printf.sprintf "%.4f" x
+
+let fmt_ratio x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,21 @@
+(** Aligned ASCII table rendering for the benchmark harness.
+
+    All experiment tables printed by [bench/main.exe] go through this
+    module so paper-style rows render uniformly. *)
+
+type align = Left | Right
+
+(** [render ~headers ?aligns rows] lays out a table with a header rule.
+    [aligns] defaults to left-aligned for every column. Rows shorter than
+    the header are padded with empty cells. *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~title ~headers ?aligns rows] renders and prints the table to
+    stdout under a title banner. *)
+val print : title:string -> headers:string list -> ?aligns:align list -> string list list -> unit
+
+(** [fmt_float x] formats a float compactly for table cells. *)
+val fmt_float : float -> string
+
+(** [fmt_ratio x] formats a speedup/ratio like "3.42x". *)
+val fmt_ratio : float -> string

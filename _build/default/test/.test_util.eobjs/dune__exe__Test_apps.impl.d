@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float Fun List Mc_apps Mc_baselines Mc_dsm Mc_history Mc_net Mc_sim Option Printf QCheck QCheck_alcotest

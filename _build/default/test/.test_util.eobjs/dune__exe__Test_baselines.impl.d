@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Mc_baselines Mc_consistency Mc_dsm Mc_history Mc_sim Mc_util

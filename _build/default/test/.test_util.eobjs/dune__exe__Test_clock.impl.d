@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Gen Mc_clock QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Format List Mc_consistency Mc_history Result String

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest List Mc_history Mc_util String

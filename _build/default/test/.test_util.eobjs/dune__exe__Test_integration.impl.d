@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Format List Mc_apps Mc_consistency Mc_dsm Mc_history Mc_net Mc_sim Mc_util Option Printf

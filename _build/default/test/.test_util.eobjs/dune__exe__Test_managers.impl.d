@@ -1,0 +1,1 @@
+test/test_managers.ml: Alcotest Array List Mc_dsm Option

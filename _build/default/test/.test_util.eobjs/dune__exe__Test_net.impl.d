@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Mc_net Mc_sim Mc_util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Format List Mc_consistency Mc_history QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Mc_dsm Mc_sim

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest List Mc_consistency Mc_dsm Mc_history Mc_net Mc_sim Option Printf

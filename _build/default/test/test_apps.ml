@@ -1,0 +1,395 @@
+(* Tests for the Section-5 applications: distributed runs must match the
+   sequential references exactly, across propagation modes and memory
+   systems; the deliberately weakened Fig. 3 variant must be able to
+   diverge. *)
+
+module Engine = Mc_sim.Engine
+module Runtime = Mc_dsm.Runtime
+module Config = Mc_dsm.Config
+module Api = Mc_dsm.Api
+module Latency = Mc_net.Latency
+module Solver = Mc_apps.Linear_solver
+module Em = Mc_apps.Em_field
+module Sparse = Mc_apps.Sparse_spd
+module Cholesky = Mc_apps.Cholesky
+module Fixed = Mc_apps.Fixed
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_mixed ?(procs = 4) ?propagation ?await_label ?latency f =
+  let engine = Engine.create () in
+  let cfg =
+    let base = Config.default ~procs in
+    let base =
+      match propagation with Some p -> { base with propagation = p } | None -> base
+    in
+    match await_label with
+    | Some l -> { base with await_label = l }
+    | None -> base
+  in
+  let rt = Runtime.create engine ?latency cfg in
+  let out = f (Api.spawn rt) in
+  let tend = Runtime.run rt in
+  (out, tend)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-point arithmetic                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixed_roundtrip () =
+  List.iter
+    (fun v ->
+      let enc = Fixed.of_float v in
+      check "roundtrip within ulp" true (Float.abs (Fixed.to_float enc -. v) < 0.001))
+    [ 0.; 1.; -1.; 3.14159; -200.5 ]
+
+let test_fixed_ops () =
+  let two = Fixed.of_float 2.0 and three = Fixed.of_float 3.0 in
+  check_int "mul" (Fixed.of_float 6.0) (Fixed.mul two three);
+  check_int "div" (Fixed.of_float 1.5) (Fixed.div three two);
+  check_int "sqrt 4" (Fixed.of_float 2.0) (Fixed.sqrt (Fixed.of_float 4.0));
+  check_int "isqrt" 10 (Fixed.isqrt 100);
+  check_int "isqrt rounds down" 9 (Fixed.isqrt 99);
+  check_int "isqrt 0" 0 (Fixed.isqrt 0);
+  Alcotest.check_raises "negative sqrt"
+    (Invalid_argument "Fixed.sqrt: negative argument") (fun () ->
+      ignore (Fixed.sqrt (-1)))
+
+let fixed_sqrt_property =
+  QCheck.Test.make ~name:"fixed sqrt is within one ulp of float sqrt" ~count:200
+    QCheck.(float_range 0.0 1000.0)
+    (fun v ->
+      let s = Fixed.sqrt (Fixed.of_float v) in
+      Float.abs (Fixed.to_float s -. Float.sqrt v) < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Linear solver                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let problem = Solver.Problem.generate ~seed:42 ~n:10
+
+let test_solver_reference_converges () =
+  let r = Solver.reference ~variant:Solver.Barrier_pram problem in
+  check "converged" true r.Solver.converged;
+  check "residual small" true
+    (Solver.residual problem r.Solver.x < Fixed.scale)
+
+let test_solver_barrier_matches_reference () =
+  let res, _ =
+    run_mixed (fun spawn ->
+        Solver.launch ~spawn ~procs:4 ~variant:Solver.Barrier_pram problem)
+  in
+  let r = Option.get !res in
+  let expected = Solver.reference ~variant:Solver.Barrier_pram problem in
+  check_int "iterations" expected.Solver.iterations r.Solver.iterations;
+  Alcotest.(check (array int)) "exact solution" expected.Solver.x r.Solver.x;
+  check "converged" true r.Solver.converged
+
+let test_solver_handshake_matches_reference () =
+  let res, _ =
+    run_mixed (fun spawn ->
+        Solver.launch ~spawn ~procs:3 ~variant:Solver.Handshake_causal problem)
+  in
+  let r = Option.get !res in
+  let expected = Solver.reference ~variant:Solver.Handshake_causal problem in
+  check_int "iterations" expected.Solver.iterations r.Solver.iterations;
+  Alcotest.(check (array int)) "exact solution" expected.Solver.x r.Solver.x
+
+let test_solver_two_procs () =
+  (* one coordinator, one worker: degenerate but legal *)
+  let res, _ =
+    run_mixed ~procs:2 (fun spawn ->
+        Solver.launch ~spawn ~procs:2 ~variant:Solver.Barrier_pram problem)
+  in
+  let r = Option.get !res in
+  let expected = Solver.reference ~variant:Solver.Barrier_pram problem in
+  Alcotest.(check (array int)) "exact solution" expected.Solver.x r.Solver.x
+
+let test_solver_handshake_pram_diverges_under_adverse_latency () =
+  (* coordinator close to every worker, workers far from each other: the
+     handshake completes before direct worker-to-worker updates land, so
+     PRAM reads of the estimate are stale (Section 5.1's warning) *)
+  let n_nodes = 4 in
+  let lat = Array.make_matrix n_nodes n_nodes 2000. in
+  for i = 0 to n_nodes - 1 do
+    lat.(i).(i) <- 0.;
+    lat.(i).(0) <- 5.;
+    lat.(0).(i) <- 5.
+  done;
+  let latency = Latency.matrix lat in
+  (* the fully weakened variant also uses the paper's PRAM await (a
+     busy-wait of PRAM reads); a causal-gated await would reimpose the
+     full causal closure and mask the staleness *)
+  let res, _ =
+    run_mixed ~procs:n_nodes ~latency ~await_label:Mc_history.Op.PRAM
+      (fun spawn ->
+        Solver.launch ~spawn ~procs:n_nodes ~variant:Solver.Handshake_pram
+          ~max_iters:30 problem)
+  in
+  let r = Option.get !res in
+  let expected = Solver.reference ~variant:Solver.Handshake_causal ~max_iters:30 problem in
+  check "stale reads change the computation" true (r.Solver.x <> expected.Solver.x);
+  (* while the causal variant under the same latencies stays exact *)
+  let res, _ =
+    run_mixed ~procs:n_nodes ~latency (fun spawn ->
+        Solver.launch ~spawn ~procs:n_nodes ~variant:Solver.Handshake_causal
+          ~max_iters:30 problem)
+  in
+  let r = Option.get !res in
+  Alcotest.(check (array int)) "causal stays exact" expected.Solver.x r.Solver.x
+
+let test_solver_on_sc_central () =
+  let engine = Engine.create () in
+  let m = Mc_baselines.Sc_central.create engine ~procs:3 () in
+  let res =
+    Solver.launch ~spawn:(Mc_baselines.Sc_central.spawn m) ~procs:3
+      ~variant:Solver.Barrier_pram problem
+  in
+  ignore (Mc_baselines.Sc_central.run m);
+  let r = Option.get !res in
+  let expected = Solver.reference ~variant:Solver.Barrier_pram problem in
+  Alcotest.(check (array int)) "SC central agrees" expected.Solver.x r.Solver.x
+
+(* ------------------------------------------------------------------ *)
+(* EM field                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let em_params = { Em.rows = 12; cols = 6; steps = 5; seed = 5 }
+
+let test_em_matches_reference () =
+  List.iter
+    (fun procs ->
+      let res, _ =
+        run_mixed ~procs (fun spawn -> Em.launch ~spawn ~procs em_params)
+      in
+      let r = Option.get !res in
+      let expected = Em.reference ~procs em_params in
+      check_int
+        (Printf.sprintf "checksum with %d procs" procs)
+        expected.Em.checksum r.Em.checksum;
+      check_int "energy" expected.Em.energy r.Em.energy)
+    [ 1; 2; 3; 4 ]
+
+let test_em_nontrivial () =
+  let r = Em.reference ~procs:2 em_params in
+  check "field evolved" true (r.Em.energy > 0)
+
+let test_em_causal_label_also_works () =
+  let res, _ =
+    run_mixed ~procs:3 (fun spawn ->
+        Em.launch ~spawn ~procs:3 ~label:Mc_history.Op.Causal em_params)
+  in
+  let r = Option.get !res in
+  check_int "causal label agrees" (Em.reference ~procs:3 em_params).Em.checksum
+    r.Em.checksum
+
+let test_em_on_sc_invalidate () =
+  let engine = Engine.create () in
+  let m = Mc_baselines.Sc_invalidate.create engine ~procs:3 () in
+  let res = Em.launch ~spawn:(Mc_baselines.Sc_invalidate.spawn m) ~procs:3 em_params in
+  ignore (Mc_baselines.Sc_invalidate.run m);
+  let r = Option.get !res in
+  check_int "invalidate protocol agrees" (Em.reference ~procs:3 em_params).Em.checksum
+    r.Em.checksum
+
+(* ------------------------------------------------------------------ *)
+(* Sparse matrices and Cholesky                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_symbolic_factorization () =
+  let m = Sparse.generate ~seed:1 ~n:12 ~density:0.2 in
+  check "pattern includes diagonal" true
+    (List.for_all (fun j -> List.mem j (Sparse.column m j)) (List.init 12 Fun.id));
+  check "nnz at least diagonal" true (Sparse.nnz m >= 12);
+  (* elimination tree parents point upward *)
+  Array.iteri
+    (fun k p -> check "parent above child" true (p = -1 || p > k))
+    m.Sparse.parent;
+  (* deps counts match the pattern *)
+  Array.iteri
+    (fun j d ->
+      let count = ref 0 in
+      for k = 0 to j - 1 do
+        if m.Sparse.pattern.(j).(k) then incr count
+      done;
+      check_int "deps" !count d)
+    m.Sparse.deps
+
+let test_reference_factor_correct () =
+  let m = Sparse.generate ~seed:2 ~n:14 ~density:0.3 in
+  let l = Sparse.factor_reference m in
+  (* fixed-point rounding error grows with n; stay well under one unit *)
+  check "factor reproduces the matrix" true
+    (Sparse.verify m l < Fixed.scale / 16)
+
+let test_arrow_shape () =
+  let m = Sparse.arrow ~seed:3 ~n:10 ~bandwidth:2 in
+  check "last row dense" true
+    (List.for_all (fun j -> m.Sparse.pattern.(9).(j)) (List.init 9 Fun.id));
+  let l = Sparse.factor_reference m in
+  check "arrow factors" true (Sparse.verify m l < Fixed.scale / 16)
+
+let cholesky_matches ~variant ~procs m =
+  let lref = Sparse.factor_reference m in
+  let res, _ =
+    run_mixed ~procs (fun spawn -> Cholesky.launch ~spawn ~procs ~variant m)
+  in
+  let r = Option.get !res in
+  r.Cholesky.l = lref
+
+let test_cholesky_lock_based () =
+  let m = Sparse.generate ~seed:11 ~n:14 ~density:0.25 in
+  check "matches reference" true
+    (cholesky_matches ~variant:Cholesky.Lock_based ~procs:4 m)
+
+let test_cholesky_counters () =
+  let m = Sparse.generate ~seed:11 ~n:14 ~density:0.25 in
+  check "matches reference" true
+    (cholesky_matches ~variant:Cholesky.Counter_based ~procs:4 m)
+
+let test_cholesky_all_propagation_modes () =
+  let m = Sparse.generate ~seed:13 ~n:10 ~density:0.3 in
+  let lref = Sparse.factor_reference m in
+  List.iter
+    (fun propagation ->
+      let res, _ =
+        run_mixed ~procs:3 ~propagation (fun spawn ->
+            Cholesky.launch ~spawn ~procs:3 ~variant:Cholesky.Lock_based m)
+      in
+      let r = Option.get !res in
+      check
+        (Printf.sprintf "lock-based under %s"
+           (Config.propagation_to_string propagation))
+        true
+        (r.Cholesky.l = lref))
+    [ Config.Eager; Config.Lazy; Config.Demand ]
+
+let test_cholesky_single_proc () =
+  let m = Sparse.generate ~seed:17 ~n:8 ~density:0.4 in
+  check "single process" true (cholesky_matches ~variant:Cholesky.Counter_based ~procs:1 m)
+
+let test_cholesky_counter_faster_and_leaner () =
+  let m = Sparse.generate ~seed:19 ~n:16 ~density:0.3 in
+  let run variant =
+    let engine = Engine.create () in
+    let rt = Runtime.create engine (Config.default ~procs:4) in
+    let res = Cholesky.launch ~spawn:(Api.spawn rt) ~procs:4 ~variant m in
+    let tend = Runtime.run rt in
+    ignore (Option.get !res);
+    (tend, Mc_net.Network.messages_sent (Runtime.network rt))
+  in
+  let t_lock, m_lock = run Cholesky.Lock_based in
+  let t_ctr, m_ctr = run Cholesky.Counter_based in
+  check "counter variant is faster (Sec. 7 claim)" true (t_ctr < t_lock);
+  check "counter variant sends fewer messages" true (m_ctr < m_lock)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline (producer/consumer)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pipe_params = { Mc_apps.Pipeline.items = 25; slots = 3; work = 2.0 }
+
+let run_pipeline ~procs ~impl =
+  let res, time =
+    run_mixed ~procs (fun spawn ->
+        Mc_apps.Pipeline.launch ~spawn ~procs ~impl pipe_params)
+  in
+  (Option.get !res, time)
+
+let test_pipeline_awaits_exact () =
+  List.iter
+    (fun procs ->
+      let expected = Mc_apps.Pipeline.reference ~procs pipe_params in
+      let r, _ = run_pipeline ~procs ~impl:Mc_apps.Pipeline.Await_based in
+      check_int
+        (Printf.sprintf "checksum with %d stages" procs)
+        expected.Mc_apps.Pipeline.checksum r.Mc_apps.Pipeline.checksum;
+      check_int "all delivered" pipe_params.Mc_apps.Pipeline.items
+        r.Mc_apps.Pipeline.delivered)
+    [ 2; 3; 5 ]
+
+let test_pipeline_locks_exact () =
+  let procs = 3 in
+  let expected = Mc_apps.Pipeline.reference ~procs pipe_params in
+  let r, _ = run_pipeline ~procs ~impl:Mc_apps.Pipeline.Lock_based in
+  check_int "checksum" expected.Mc_apps.Pipeline.checksum
+    r.Mc_apps.Pipeline.checksum
+
+let test_pipeline_awaits_beat_locks () =
+  let procs = 3 in
+  let _, t_await = run_pipeline ~procs ~impl:Mc_apps.Pipeline.Await_based in
+  let _, t_lock = run_pipeline ~procs ~impl:Mc_apps.Pipeline.Lock_based in
+  check "awaits faster than polling locks (Sec. 1 claim)" true (t_await < t_lock)
+
+let test_pipeline_single_slot_window () =
+  (* fully synchronous hand-off: the tightest flow control still works *)
+  let procs = 3 in
+  let params = { Mc_apps.Pipeline.items = 10; slots = 1; work = 1.0 } in
+  let expected = Mc_apps.Pipeline.reference ~procs params in
+  let res, _ =
+    run_mixed ~procs (fun spawn ->
+        Mc_apps.Pipeline.launch ~spawn ~procs
+          ~impl:Mc_apps.Pipeline.Await_based params)
+  in
+  let r = Option.get !res in
+  check_int "checksum" expected.Mc_apps.Pipeline.checksum
+    r.Mc_apps.Pipeline.checksum
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mc_apps"
+    [
+      ( "fixed",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "operations" `Quick test_fixed_ops;
+          qt fixed_sqrt_property;
+        ] );
+      ( "linear_solver",
+        [
+          Alcotest.test_case "reference converges" `Quick test_solver_reference_converges;
+          Alcotest.test_case "Fig. 2 matches reference" `Quick
+            test_solver_barrier_matches_reference;
+          Alcotest.test_case "Fig. 3 matches reference" `Quick
+            test_solver_handshake_matches_reference;
+          Alcotest.test_case "two processes" `Quick test_solver_two_procs;
+          Alcotest.test_case "weakened Fig. 3 diverges" `Quick
+            test_solver_handshake_pram_diverges_under_adverse_latency;
+          Alcotest.test_case "runs on SC central" `Quick test_solver_on_sc_central;
+        ] );
+      ( "em_field",
+        [
+          Alcotest.test_case "matches reference (1-4 procs)" `Quick
+            test_em_matches_reference;
+          Alcotest.test_case "nontrivial field" `Quick test_em_nontrivial;
+          Alcotest.test_case "causal label agrees" `Quick test_em_causal_label_also_works;
+          Alcotest.test_case "runs on SC invalidate" `Quick test_em_on_sc_invalidate;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "symbolic factorization" `Quick test_symbolic_factorization;
+          Alcotest.test_case "reference factor" `Quick test_reference_factor_correct;
+          Alcotest.test_case "arrowhead problems" `Quick test_arrow_shape;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "awaits exact (2-5 stages)" `Quick
+            test_pipeline_awaits_exact;
+          Alcotest.test_case "locks exact" `Quick test_pipeline_locks_exact;
+          Alcotest.test_case "awaits beat polling locks" `Quick
+            test_pipeline_awaits_beat_locks;
+          Alcotest.test_case "single-slot window" `Quick
+            test_pipeline_single_slot_window;
+        ] );
+      ( "cholesky",
+        [
+          Alcotest.test_case "lock-based (Fig. 5)" `Quick test_cholesky_lock_based;
+          Alcotest.test_case "counter objects" `Quick test_cholesky_counters;
+          Alcotest.test_case "all propagation modes" `Quick
+            test_cholesky_all_propagation_modes;
+          Alcotest.test_case "single process" `Quick test_cholesky_single_proc;
+          Alcotest.test_case "counters beat locks" `Quick
+            test_cholesky_counter_faster_and_leaner;
+        ] );
+    ]

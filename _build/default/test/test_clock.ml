@@ -1,0 +1,95 @@
+(* Tests for vector and Lamport clocks. *)
+
+module Vc = Mc_clock.Vector_clock
+module Lc = Mc_clock.Lamport_clock
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_create_and_access () =
+  let v = Vc.create 3 in
+  check_int "size" 3 (Vc.size v);
+  check_int "zero" 0 (Vc.get v 0);
+  let v = Vc.tick v 1 in
+  check_int "ticked" 1 (Vc.get v 1);
+  check_int "others untouched" 0 (Vc.get v 0);
+  let v2 = Vc.set v 2 7 in
+  check_int "set" 7 (Vc.get v2 2);
+  check_int "immutability" 0 (Vc.get v 2)
+
+let test_merge () =
+  let a = Vc.of_list [ 1; 5; 0 ] and b = Vc.of_list [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "pointwise max" [ 2; 5; 4 ] (Vc.to_list (Vc.merge a b))
+
+let test_compare () =
+  let base = Vc.of_list [ 1; 1; 1 ] in
+  let later = Vc.of_list [ 1; 2; 1 ] in
+  let conc = Vc.of_list [ 2; 0; 1 ] in
+  check "before" true (Vc.compare_clocks base later = Vc.Before);
+  check "after" true (Vc.compare_clocks later base = Vc.After);
+  check "equal" true (Vc.compare_clocks base base = Vc.Equal);
+  check "concurrent" true (Vc.compare_clocks later conc = Vc.Concurrent);
+  check "leq reflexive" true (Vc.leq base base);
+  check "dominates" true (Vc.dominates later base)
+
+let test_deliverable () =
+  let local = Vc.of_list [ 2; 3; 1 ] in
+  (* next message from process 0 *)
+  check "in-order deliverable" true
+    (Vc.deliverable ~sender:0 (Vc.of_list [ 3; 2; 0 ]) local);
+  check "gap not deliverable" false
+    (Vc.deliverable ~sender:0 (Vc.of_list [ 4; 2; 0 ]) local);
+  check "missing dependency" false
+    (Vc.deliverable ~sender:0 (Vc.of_list [ 3; 4; 0 ]) local);
+  check "duplicate not deliverable" false
+    (Vc.deliverable ~sender:0 (Vc.of_list [ 2; 0; 0 ]) local)
+
+let test_size_mismatch () =
+  Alcotest.check_raises "merge mismatch"
+    (Invalid_argument "Vector_clock.merge: size mismatch") (fun () ->
+      ignore (Vc.merge (Vc.create 2) (Vc.create 3)))
+
+let vc_merge_commutes =
+  QCheck.Test.make ~name:"merge commutes and is idempotent" ~count:200
+    QCheck.(pair (list_of_size (Gen.return 4) (int_bound 50)) (list_of_size (Gen.return 4) (int_bound 50)))
+    (fun (xs, ys) ->
+      let a = Vc.of_list xs and b = Vc.of_list ys in
+      Vc.equal (Vc.merge a b) (Vc.merge b a)
+      && Vc.equal (Vc.merge a a) a
+      && Vc.leq a (Vc.merge a b))
+
+let vc_compare_consistent =
+  QCheck.Test.make ~name:"compare agrees with leq" ~count:200
+    QCheck.(pair (list_of_size (Gen.return 3) (int_bound 5)) (list_of_size (Gen.return 3) (int_bound 5)))
+    (fun (xs, ys) ->
+      let a = Vc.of_list xs and b = Vc.of_list ys in
+      match Vc.compare_clocks a b with
+      | Vc.Equal -> Vc.equal a b
+      | Vc.Before -> Vc.leq a b && not (Vc.leq b a)
+      | Vc.After -> Vc.leq b a && not (Vc.leq a b)
+      | Vc.Concurrent -> (not (Vc.leq a b)) && not (Vc.leq b a))
+
+let test_lamport () =
+  let c = Lc.create () in
+  check_int "initial" 0 (Lc.read c);
+  check_int "tick" 1 (Lc.tick c);
+  check_int "tick again" 2 (Lc.tick c);
+  check_int "observe larger" 11 (Lc.observe c 10);
+  check_int "observe smaller keeps monotone" 12 (Lc.observe c 3)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mc_clock"
+    [
+      ( "vector_clock",
+        [
+          Alcotest.test_case "create/tick/set" `Quick test_create_and_access;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "causal deliverability" `Quick test_deliverable;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+          qt vc_merge_commutes;
+          qt vc_compare_consistent;
+        ] );
+      ("lamport_clock", [ Alcotest.test_case "tick/observe" `Quick test_lamport ]);
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the simulated network: FIFO channels, latency models,
+   pause/resume, sender occupancy and statistics. *)
+
+module Engine = Mc_sim.Engine
+module Network = Mc_net.Network
+module Latency = Mc_net.Latency
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make ?(nodes = 3) ?(latency = Latency.constant 10.) ?send_cost ?byte_cost () =
+  let e = Engine.create () in
+  let net = Network.create e ~nodes ~latency ?send_cost ?byte_cost () in
+  (e, net)
+
+let test_basic_delivery () =
+  let e, net = make () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src msg -> got := (src, msg, Engine.now e) :: !got);
+  Network.send net ~src:0 ~dst:1 "hello";
+  ignore (Engine.run e);
+  match !got with
+  | [ (src, msg, time) ] ->
+    check_int "source" 0 src;
+    Alcotest.(check string) "payload" "hello" msg;
+    Alcotest.(check (float 1e-9)) "latency applied" 10. time
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_fifo_per_channel () =
+  (* with random latencies, per-channel order must still hold *)
+  let e = Engine.create () in
+  let latency = Latency.uniform (Mc_util.Rng.make 99) ~lo:1. ~hi:50. in
+  let net = Network.create e ~nodes:2 ~latency () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 i
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "fifo order" (List.init 50 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_cross_channel_reordering_possible () =
+  (* a later message on a fast link can overtake an earlier one on a slow
+     link: that is exactly what PRAM permits across channels *)
+  let e = Engine.create () in
+  let m = [| [| 0.; 100. |]; [| 1.; 0. |] |] in
+  let net = Network.create e ~nodes:2 ~latency:(Latency.matrix m) () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src msg -> got := (src, msg) :: !got);
+  Network.set_handler net 0 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "slow";
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int string))) "slow arrives" [ (0, "slow") ] !got
+
+let test_self_send_immediate () =
+  let e, net = make () in
+  let got = ref None in
+  Network.set_handler net 0 (fun ~src msg -> got := Some (src, msg, Engine.now e));
+  Network.send net ~src:0 ~dst:0 "self";
+  ignore (Engine.run e);
+  (match !got with
+  | Some (0, "self", t) -> Alcotest.(check (float 1e-9)) "no latency" 0. t
+  | _ -> Alcotest.fail "self delivery failed");
+  check_int "self-sends are not network traffic" 0 (Network.messages_sent net)
+
+let test_broadcast () =
+  let e, net = make ~nodes:4 () in
+  let received = Array.make 4 0 in
+  for node = 0 to 3 do
+    Network.set_handler net node (fun ~src:_ _ -> received.(node) <- received.(node) + 1)
+  done;
+  Network.broadcast net ~src:2 "hi";
+  ignore (Engine.run e);
+  Alcotest.(check (array int)) "everyone but sender" [| 1; 1; 0; 1 |] received;
+  check_int "three messages" 3 (Network.messages_sent net)
+
+let test_pause_resume () =
+  let e, net = make () in
+  let got = ref [] in
+  Network.set_handler net 1 (fun ~src:_ msg -> got := msg :: !got);
+  Network.pause_link net ~src:0 ~dst:1;
+  Network.send net ~src:0 ~dst:1 1;
+  Network.send net ~src:0 ~dst:1 2;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "held while paused" [] !got;
+  Network.resume_link net ~src:0 ~dst:1;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "released in order" [ 1; 2 ] (List.rev !got)
+
+let test_stats () =
+  let e, net = make () in
+  Network.set_handler net 1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ~bytes:100 ~kind:"a" "x";
+  Network.send net ~src:0 ~dst:1 ~bytes:50 ~kind:"b" "y";
+  Network.send net ~src:0 ~dst:1 ~bytes:1 ~kind:"a" "z";
+  ignore (Engine.run e);
+  check_int "messages" 3 (Network.messages_sent net);
+  check_int "bytes" 151 (Network.bytes_sent net);
+  Alcotest.(check (list (pair string int)))
+    "per kind"
+    [ ("a", 2); ("b", 1) ]
+    (Network.messages_by_kind net);
+  Network.reset_stats net;
+  check_int "reset messages" 0 (Network.messages_sent net);
+  check_int "reset bytes" 0 (Network.bytes_sent net);
+  Alcotest.(check (list (pair string int)))
+    "reset kinds"
+    [ ("a", 0); ("b", 0) ]
+    (Network.messages_by_kind net)
+
+let test_send_cost_serializes () =
+  (* two sends from the same node depart 5 apart; the second delivery is
+     therefore 5 later even though both were issued together *)
+  let e, net = make ~latency:(Latency.constant 10.) ~send_cost:5. () in
+  let times = ref [] in
+  Network.set_handler net 1 (fun ~src:_ _ -> times := Engine.now e :: !times);
+  Network.set_handler net 2 (fun ~src:_ _ -> times := Engine.now e :: !times);
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:0 ~dst:2 "b";
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "staggered departures" [ 15.; 20. ]
+    (List.sort compare !times)
+
+let test_byte_cost () =
+  let e, net = make ~latency:(Latency.constant 10.) ~byte_cost:0.5 () in
+  let time = ref 0. in
+  Network.set_handler net 1 (fun ~src:_ _ -> time := Engine.now e);
+  Network.send net ~src:0 ~dst:1 ~bytes:20 "payload";
+  ignore (Engine.run e);
+  Alcotest.(check (float 1e-9)) "latency + bytes/bandwidth" 20. !time
+
+let test_latency_models () =
+  let rng = Mc_util.Rng.make 5 in
+  let u = Latency.uniform rng ~lo:2. ~hi:4. in
+  for _ = 1 to 100 do
+    let s = Latency.sample u ~src:0 ~dst:1 in
+    check "uniform in range" true (s >= 2. && s < 4.)
+  done;
+  let j = Latency.jitter (Latency.constant 10.) (Mc_util.Rng.make 6) ~spread:1. in
+  for _ = 1 to 100 do
+    let s = Latency.sample j ~src:0 ~dst:1 in
+    check "jitter in range" true (s >= 10. && s < 11.)
+  done;
+  let m = Latency.matrix [| [| 0.; 7. |]; [| 3.; 0. |] |] in
+  Alcotest.(check (float 1e-9)) "matrix src-dst" 7. (Latency.sample m ~src:0 ~dst:1);
+  Alcotest.(check (float 1e-9)) "matrix dst-src" 3. (Latency.sample m ~src:1 ~dst:0)
+
+let test_no_handler_error () =
+  let e, net = make () in
+  Network.send net ~src:0 ~dst:2 "orphan";
+  match Engine.run e with
+  | (_ : float) -> Alcotest.fail "expected missing-handler failure"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "mc_net"
+    [
+      ( "network",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+          Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+          Alcotest.test_case "matrix latency delivery" `Quick test_cross_channel_reordering_possible;
+          Alcotest.test_case "self send" `Quick test_self_send_immediate;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "pause/resume link" `Quick test_pause_resume;
+          Alcotest.test_case "statistics" `Quick test_stats;
+          Alcotest.test_case "sender occupancy" `Quick test_send_cost_serializes;
+          Alcotest.test_case "byte cost" `Quick test_byte_cost;
+          Alcotest.test_case "latency models" `Quick test_latency_models;
+          Alcotest.test_case "missing handler" `Quick test_no_handler_error;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Tests for the discrete-event engine and its fibers. *)
+
+module Engine = Mc_sim.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5. (fun () -> log := 5 :: !log);
+  Engine.schedule e ~delay:1. (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3. (fun () -> log := 3 :: !log);
+  let tend = Engine.run e in
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  check_float "final time" 5. tend
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1. (fun () -> log := i :: !log)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "fifo at equal times" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_fiber_delay () =
+  let e = Engine.create () in
+  let times = ref [] in
+  Engine.spawn e (fun () ->
+      times := Engine.now e :: !times;
+      Engine.delay e 2.5;
+      times := Engine.now e :: !times;
+      Engine.delay e 1.5;
+      times := Engine.now e :: !times);
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "delay advances time" [ 0.; 2.5; 4. ]
+    (List.rev !times)
+
+let test_many_fibers_interleave () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.delay e 1.;
+      log := "a1" :: !log;
+      Engine.delay e 2.;
+      log := "a2" :: !log);
+  Engine.spawn e (fun () ->
+      Engine.delay e 2.;
+      log := "b1" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "interleaving" [ "a1"; "b1"; "a2" ] (List.rev !log)
+
+let test_suspend_resume () =
+  let e = Engine.create () in
+  let resumer = ref None in
+  let got = ref 0 in
+  Engine.spawn e (fun () ->
+      let v = Engine.suspend e (fun resume -> resumer := Some resume) in
+      got := v);
+  Engine.schedule e ~delay:10. (fun () -> Option.get !resumer 99);
+  ignore (Engine.run e);
+  check_int "resumed with value" 99 !got
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_deadlock_detection () =
+  let e = Engine.create () in
+  Engine.spawn e ~name:"stuck" (fun () ->
+      ignore (Engine.suspend e (fun _resume -> ())));
+  match Engine.run e with
+  | (_ : float) -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+    check "deadlock names the fiber" true (contains_substring msg "stuck")
+
+let test_fiber_failure () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "boom");
+  match Engine.run e with
+  | (_ : float) -> Alcotest.fail "expected failure propagation"
+  | exception Engine.Fiber_failure (Failure msg, _) ->
+    Alcotest.(check string) "original exception" "boom" msg
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:1. (fun () -> fired := 1 :: !fired);
+  Engine.schedule e ~delay:10. (fun () -> fired := 10 :: !fired);
+  let t = Engine.run_until e ~limit:5. in
+  Alcotest.(check (list int)) "only early events" [ 1 ] !fired;
+  check "stopped before limit" true (t <= 5.);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "resumes later" [ 10; 1 ] !fired
+
+let test_events_processed () =
+  let e = Engine.create () in
+  for _ = 1 to 7 do
+    Engine.schedule e ~delay:1. ignore
+  done;
+  ignore (Engine.run e);
+  check_int "events counted" 7 (Engine.events_processed e)
+
+let test_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) ignore)
+
+(* ------------------------------------------------------------------ *)
+(* Condition variables                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cond_signal_fifo () =
+  let e = Engine.create () in
+  let c = Engine.Cond.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Engine.Cond.wait e c;
+        log := i :: !log)
+  done;
+  Engine.schedule e ~delay:1. (fun () -> Engine.Cond.signal e c);
+  Engine.schedule e ~delay:2. (fun () -> Engine.Cond.signal e c);
+  Engine.schedule e ~delay:3. (fun () -> Engine.Cond.signal e c);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2; 3 ] (List.rev !log)
+
+let test_cond_broadcast () =
+  let e = Engine.create () in
+  let c = Engine.Cond.create () in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Engine.Cond.wait e c;
+        incr woken)
+  done;
+  Engine.schedule e ~delay:1. (fun () ->
+      Alcotest.(check int) "five waiters" 5 (Engine.Cond.waiters c);
+      Engine.Cond.broadcast e c);
+  ignore (Engine.run e);
+  check_int "all woken" 5 !woken
+
+let test_cond_signal_empty () =
+  let e = Engine.create () in
+  let c = Engine.Cond.create () in
+  Engine.Cond.signal e c;
+  Engine.Cond.broadcast e c;
+  check_int "no waiters" 0 (Engine.Cond.waiters c)
+
+let () =
+  Alcotest.run "mc_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "events fire in time order" `Quick test_event_order;
+          Alcotest.test_case "fifo at equal times" `Quick test_same_time_fifo;
+          Alcotest.test_case "fiber delay" `Quick test_fiber_delay;
+          Alcotest.test_case "fibers interleave" `Quick test_many_fibers_interleave;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "fiber failure propagates" `Quick test_fiber_failure;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "event counter" `Quick test_events_processed;
+          Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "signal wakes fifo" `Quick test_cond_signal_fifo;
+          Alcotest.test_case "broadcast wakes all" `Quick test_cond_broadcast;
+          Alcotest.test_case "signal with no waiters" `Quick test_cond_signal_empty;
+        ] );
+    ]
