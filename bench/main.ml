@@ -921,6 +921,124 @@ let exp_async () =
      relaxation converges on plain PRAM with no synchronization operations at all."
 
 (* ------------------------------------------------------------------ *)
+(* EXP-LINT: race-detector throughput vs the pairwise Theorem-1 scan   *)
+(* ------------------------------------------------------------------ *)
+
+(* a disciplined application-shaped workload: lock-protected shared
+   counters, private per-process data, barrier phases, plus one
+   deliberate unprotected conflict so both analyses report a race *)
+let lint_workload ~procs ~ops_per_proc =
+  let r = Mc_history.Recorder.create ~procs in
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  for k = 0 to ops_per_proc - 1 do
+    for p = 0 to procs - 1 do
+      match k mod 8 with
+      | 0 ->
+        let lock = "m:" ^ string_of_int (k mod 4)
+        and loc = "s:" ^ string_of_int (k mod 4) in
+        ignore
+          (Mc_history.Recorder.record r ~proc:p
+             ~sync_seq:(Mc_history.Recorder.grant_seq r lock)
+             (Op.Write_lock lock));
+        ignore (Mc_history.Recorder.record r ~proc:p (Op.Write { loc; value = fresh () }));
+        ignore
+          (Mc_history.Recorder.record r ~proc:p
+             ~sync_seq:(Mc_history.Recorder.grant_seq r lock)
+             (Op.Write_unlock lock))
+      | 5 when k = 5 && p <= 1 ->
+        (* the only unprotected conflicting accesses in the history *)
+        ignore
+          (Mc_history.Recorder.record r ~proc:p
+             (Op.Write { loc = "racy"; value = fresh () }))
+      | 7 when k mod 16 = 15 ->
+        ignore (Mc_history.Recorder.record r ~proc:p (Op.Barrier (k / 16)))
+      | m when m < 4 ->
+        ignore
+          (Mc_history.Recorder.record r ~proc:p
+             (Op.Write
+                {
+                  loc = Printf.sprintf "p:%d:%d" p (k mod 7);
+                  value = fresh ();
+                }))
+      | _ ->
+        ignore
+          (Mc_history.Recorder.record r ~proc:p
+             (Op.Read
+                {
+                  loc = Printf.sprintf "p:%d:%d" p (k mod 7);
+                  label = Op.PRAM;
+                  value = 0;
+                }))
+    done
+  done;
+  Mc_history.Recorder.history r
+
+let exp_lint () =
+  let procs = 4 in
+  (* the pairwise scan needs the O(n^3/word) transitive closure of the
+     causality relation plus an O(n^2) pair enumeration; cap the sizes it
+     runs at so the experiment terminates promptly *)
+  let sizes, pairwise_cap =
+    if !quick then ([ 400; 1_000; 2_000; 10_000 ], 2_000)
+    else ([ 1_000; 2_500; 5_000; 10_000; 20_000; 40_000 ], 13_000)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun total_ops ->
+      let h = lint_workload ~procs ~ops_per_proc:(total_ops / procs) in
+      let n = Mc_history.History.length h in
+      let time f =
+        let t0 = Sys.time () in
+        let x = f () in
+        (x, Sys.time () -. t0)
+      in
+      let detect, t_detect = time (fun () -> Mc_analysis.Race.detect h) in
+      let fast_pairs = Mc_analysis.Race.race_pairs detect in
+      let pairwise, t_pairwise =
+        if n <= pairwise_cap then
+          let report, t =
+            time (fun () -> Mc_consistency.Commute.theorem1_report h)
+          in
+          (Some report.Mc_consistency.Commute.non_commuting_pairs, t)
+        else (None, nan)
+      in
+      let agree =
+        match pairwise with
+        | Some pairs -> if pairs = fast_pairs then "yes" else "NO"
+        | None -> "-"
+      in
+      rows :=
+        [
+          string_of_int n;
+          string_of_int (List.length fast_pairs);
+          (match pairwise with
+          | Some _ -> Printf.sprintf "%.3f" t_pairwise
+          | None -> "(skipped)");
+          Printf.sprintf "%.3f" t_detect;
+          (match pairwise with
+          | Some _ -> T.fmt_ratio (t_pairwise /. t_detect)
+          | None -> "-");
+          agree;
+        ]
+        :: !rows)
+    sizes;
+  T.print
+    ~title:
+      "EXP-LINT: race detection, pairwise Theorem-1 scan vs lockset+HB clocks"
+    ~headers:[ "ops"; "races"; "pairwise (s)"; "detector (s)"; "speedup"; "agree" ]
+    (List.rev !rows);
+  print_endline
+    "the pairwise scan closes the causality relation transitively (cubic in history\n\
+     length) before checking every operation pair; the detector derives\n\
+     happens-before chain clocks from the covering relations and screens\n\
+     lock-protected locations with Eraser candidate locksets, so it keeps scaling\n\
+     past the sizes where the closure becomes intractable."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -938,6 +1056,7 @@ let experiments =
     ("async", exp_async);
     ("multicast", exp_multicast);
     ("prodcon", exp_prodcon);
+    ("lint", exp_lint);
   ]
 
 let () =

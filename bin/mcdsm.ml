@@ -88,12 +88,15 @@ let check_history ?(trace = false) = function
       (Mc_history.History.length h)
       (Mc_history.History.is_well_formed h)
       (Mc_consistency.Mixed.is_mixed_consistent h);
-    if Mc_history.History.length h <= 60 then
-      match Mc_consistency.Sequential.is_sequentially_consistent h with
-      | Mc_consistency.Sequential.Consistent ->
-        print_endline "sequentially consistent: yes"
-      | Inconsistent -> print_endline "sequentially consistent: no"
-      | Unknown -> print_endline "sequentially consistent: unknown (bound)"
+    (if Mc_history.History.length h <= 60 then
+       match Mc_consistency.Sequential.is_sequentially_consistent h with
+       | Mc_consistency.Sequential.Consistent ->
+         print_endline "sequentially consistent: yes"
+       | Inconsistent -> print_endline "sequentially consistent: no"
+       | Unknown -> print_endline "sequentially consistent: unknown (bound)");
+    let report = Mc_analysis.Analysis.analyze h in
+    print_endline "--- analysis ---";
+    Format.printf "%a" Mc_analysis.Analysis.pp report
 
 open Cmdliner
 
@@ -239,6 +242,130 @@ let cholesky_cmd =
       const run $ n_arg $ density_arg $ variant_arg $ memory_arg $ propagation_arg
       $ record_arg $ trace_arg $ seed_arg)
 
+(* ---------------- lint ---------------- *)
+
+let litmus_catalog () =
+  let module Dsl = Mc_history.Dsl in
+  [
+    ( "dekker",
+      Dsl.make ~procs:2
+        [ [ Dsl.w "x" 1; Dsl.rc "y" 0 ]; [ Dsl.w "y" 1; Dsl.rc "x" 0 ] ] );
+    ( "message-passing",
+      Dsl.make ~procs:2
+        [ [ Dsl.w "x" 42; Dsl.w "f" 1 ]; [ Dsl.rc "f" 1; Dsl.rc "x" 42 ] ] );
+    ( "transitive-chain-pram",
+      Dsl.make ~procs:3
+        [
+          [ Dsl.w "x" 1 ];
+          [ Dsl.rp "x" 1; Dsl.w "y" 2 ];
+          [ Dsl.rp "y" 2; Dsl.rp "x" 0 ];
+        ] );
+    ( "racy-writes",
+      Dsl.make ~procs:2
+        [ [ Dsl.w "x" 1; Dsl.rp "y" 0 ]; [ Dsl.w "x" 2; Dsl.w "y" 1 ] ] );
+    ( "bad-lock-discipline",
+      Dsl.make ~procs:2
+        [
+          [ Dsl.wl ~seq:0 "l"; Dsl.w "x" 1 ];
+          [ Dsl.rl ~seq:1 "l"; Dsl.w "x" 2; Dsl.ru ~seq:2 "l" ];
+        ] );
+    ( "await-never-fires",
+      Dsl.make ~procs:2 [ [ Dsl.await "f" 5 ]; [ Dsl.w "f" 1 ] ] );
+    ( "over-labelled",
+      Dsl.make ~procs:2 [ [ Dsl.w "x" 1 ]; [ Dsl.rc "x" 1 ] ] );
+  ]
+
+let lint_cmd =
+  let app_histories app memory propagation seed =
+    let solver () =
+      let problem = Solver.Problem.generate ~seed ~n:8 in
+      let _, _, _, h =
+        run_on ~memory ~procs:3 ~propagation ~record:true (fun spawn ->
+            Solver.launch ~spawn ~procs:3 ~variant:Solver.Barrier_pram problem)
+      in
+      ("solver", Option.get h)
+    in
+    let em () =
+      let params = { Em.rows = 8; cols = 4; steps = 2; seed } in
+      let _, _, _, h =
+        run_on ~memory ~procs:2 ~propagation ~record:true (fun spawn ->
+            Em.launch ~spawn ~procs:2 params)
+      in
+      ("em", Option.get h)
+    in
+    let cholesky () =
+      let m = Sparse.generate ~seed ~n:8 ~density:0.2 in
+      let _, _, _, h =
+        run_on ~memory ~procs:4 ~propagation ~record:true (fun spawn ->
+            Cholesky.launch ~spawn ~procs:4 ~variant:Cholesky.Lock_based m)
+      in
+      ("cholesky", Option.get h)
+    in
+    match app with
+    | `Litmus -> litmus_catalog ()
+    | `Solver -> [ solver () ]
+    | `Em -> [ em () ]
+    | `Cholesky -> [ cholesky () ]
+    | `All -> litmus_catalog () @ [ solver (); em (); cholesky () ]
+  in
+  let run app json strict memory propagation seed =
+    let reports =
+      List.map
+        (fun (name, h) -> (name, Mc_analysis.Analysis.analyze h))
+        (app_histories app memory propagation seed)
+    in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i (name, r) ->
+          if i > 0 then print_string ",";
+          Printf.printf "{\"name\":%S,\"report\":%s}" name
+            (Mc_analysis.Analysis.to_json r))
+        reports;
+      print_endline "]"
+    end
+    else
+      List.iter
+        (fun (name, r) ->
+          Printf.printf "== %s ==\n" name;
+          Format.printf "%a" Mc_analysis.Analysis.pp r)
+        reports;
+    if strict && List.exists (fun (_, r) -> Mc_analysis.Analysis.has_errors r) reports
+    then exit 1
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("litmus", `Litmus);
+               ("solver", `Solver);
+               ("em", `Em);
+               ("cholesky", `Cholesky);
+               ("all", `All);
+             ])
+          `Litmus
+      & info [ "app" ] ~docv:"APP"
+          ~doc:"History source: litmus, solver, em, cholesky or all.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit with status 1 if any error is reported.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the race detector, discipline linter and label advisor on \
+          recorded histories")
+    Term.(
+      const run $ app_arg $ json_arg $ strict_arg $ memory_arg $ propagation_arg
+      $ seed_arg)
+
 (* ---------------- litmus ---------------- *)
 
 let litmus_cmd =
@@ -280,4 +407,6 @@ let () =
     Cmd.info "mcdsm" ~version:"1.0.0"
       ~doc:"Mixed-consistency distributed shared memory (PODC '94 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ solver_cmd; em_cmd; cholesky_cmd; litmus_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ solver_cmd; em_cmd; cholesky_cmd; litmus_cmd; lint_cmd ]))

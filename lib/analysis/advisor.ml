@@ -1,0 +1,99 @@
+module History = Mc_history.History
+module Op = Mc_history.Op
+module Pc = Mc_consistency.Program_class
+module Pram = Mc_consistency.Pram
+module Causal = Mc_consistency.Causal
+module Group = Mc_consistency.Group
+module Read_rule = Mc_consistency.Read_rule
+
+type advice = {
+  read_id : int;
+  declared : Op.label;
+  declared_valid : bool;
+  recommended : Op.label option;
+}
+
+let label_to_string = function
+  | Op.PRAM -> "PRAM"
+  | Op.Causal -> "Causal"
+  | Op.Group g ->
+    Printf.sprintf "Group{%s}" (String.concat "," (List.map string_of_int g))
+
+let strength = function Op.PRAM -> 0 | Op.Group _ -> 1 | Op.Causal -> 2
+
+let valid_under h ~read_id = function
+  | Op.PRAM -> Pram.verdict h ~read_id = Read_rule.Valid
+  | Op.Causal -> Causal.verdict h ~read_id = Read_rule.Valid
+  | Op.Group g -> (
+    (* a malformed group (reader not a member) validates nothing *)
+    try Group.verdict h ~read_id ~group:g = Read_rule.Valid
+    with Invalid_argument _ -> false)
+
+let advise ?shared h =
+  let shared =
+    match shared with Some f -> f | None -> Pc.default_shared h
+  in
+  let entry = Pc.is_entry_consistent ~shared h in
+  let pramc = Pc.is_pram_consistent ~shared h in
+  let advices = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Read { loc; label; value = _ } ->
+        let read_id = o.id in
+        let valid = valid_under h ~read_id in
+        let declared_valid = valid label in
+        let candidates =
+          Op.PRAM
+          :: (match label with Op.Group _ -> [ label ] | _ -> [])
+          @ [ Op.Causal ]
+        in
+        let weakest = List.find_opt valid candidates in
+        let recommended =
+          if pramc && valid Op.PRAM then Some Op.PRAM (* Corollary 2 *)
+          else if entry && shared loc && valid Op.Causal then
+            Some Op.Causal (* Corollary 1 needs causal reads on [loc] *)
+          else weakest
+        in
+        advices :=
+          { read_id; declared = label; declared_valid; recommended }
+          :: !advices
+      | _ -> ())
+    (History.ops h);
+  List.rev !advices
+
+let diagnostics h advices =
+  let ops = History.ops h in
+  List.filter_map
+    (fun { read_id; declared; declared_valid; recommended } ->
+      let o = ops.(read_id) in
+      let loc = Option.map fst (Op.reads_value o) in
+      let mk ~rule ~severity msg =
+        Some (Diag.make ~rule ~severity ~op_id:read_id ~proc:o.Op.proc ?loc msg)
+      in
+      match (declared_valid, recommended) with
+      | _, None ->
+        mk ~rule:"A003" ~severity:Diag.Error
+          (Printf.sprintf
+             "read %d: no label on the spectrum validates the value read"
+             read_id)
+      | true, Some r when strength r < strength declared ->
+        mk ~rule:"A001" ~severity:Diag.Info
+          (Printf.sprintf
+             "read %d is over-labelled: %s suffices instead of %s (weaker \
+              delivery synchronization)"
+             read_id (label_to_string r) (label_to_string declared))
+      | true, Some r when strength r > strength declared ->
+        mk ~rule:"A002" ~severity:Diag.Warning
+          (Printf.sprintf
+             "read %d validates under %s in this schedule, but the \
+              entry-consistency guarantee (Corollary 1) requires %s"
+             read_id (label_to_string declared) (label_to_string r))
+      | true, Some _ -> None
+      | false, Some r ->
+        mk ~rule:"A002" ~severity:Diag.Warning
+          (Printf.sprintf
+             "read %d: declared label %s does not validate the value read; \
+              %s does"
+             read_id (label_to_string declared) (label_to_string r)))
+    advices

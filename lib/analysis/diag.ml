@@ -1,0 +1,96 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  op_id : int option;
+  related_op : int option;
+  proc : int option;
+  loc : string option;
+  message : string;
+}
+
+let make ~rule ~severity ?op_id ?related_op ?proc ?loc message =
+  { rule; severity; op_id; related_op; proc; loc; message }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = Stdlib.compare (severity_rank a) (severity_rank b)
+
+let compare a b =
+  let c = compare_severity a.severity b.severity in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let anchor d = Option.value ~default:max_int d.op_id in
+      let c = Stdlib.compare (anchor a) (anchor b) in
+      if c <> 0 then c else Stdlib.compare a b
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s" (severity_to_string d.severity) d.rule;
+  (match d.op_id, d.related_op with
+  | Some a, Some b -> Format.fprintf fmt " op#%d<->op#%d" a b
+  | Some a, None -> Format.fprintf fmt " op#%d" a
+  | None, _ -> ());
+  (match d.proc with Some p -> Format.fprintf fmt " p%d" p | None -> ());
+  (match d.loc with Some l -> Format.fprintf fmt " [%s]" l | None -> ());
+  Format.fprintf fmt ": %s" d.message
+
+(* Minimal JSON string escaping: the quote, the backslash and control
+   characters — locations and messages are plain ASCII in practice. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let fields =
+    [ Some (Printf.sprintf "\"rule\":\"%s\"" (json_escape d.rule));
+      Some
+        (Printf.sprintf "\"severity\":\"%s\""
+           (severity_to_string d.severity));
+      Option.map (Printf.sprintf "\"op\":%d") d.op_id;
+      Option.map (Printf.sprintf "\"related_op\":%d") d.related_op;
+      Option.map (Printf.sprintf "\"proc\":%d") d.proc;
+      Option.map (fun l -> Printf.sprintf "\"loc\":\"%s\"" (json_escape l)) d.loc;
+      Some (Printf.sprintf "\"message\":\"%s\"" (json_escape d.message));
+    ]
+  in
+  "{" ^ String.concat "," (List.filter_map Fun.id fields) ^ "}"
+
+module Rules = struct
+  let table =
+    [ ("R001", Error, "data race: causally-unrelated non-commuting operation pair");
+      ("R002", Warning, "shared location written by several processes with an empty candidate lockset");
+      ("L001", Error, "unlock without a matching lock held by the process");
+      ("L002", Warning, "lock acquired while already held by the same process");
+      ("L003", Warning, "lock still held when the process's history ends");
+      ("L004", Error, "barrier episode participant sets disagree across processes");
+      ("L005", Warning, "await on a value no operation ever writes");
+      ("L006", Error, "write performed under a read lock only");
+      ("A001", Info, "read is over-labelled: a weaker label preserves the SC guarantee");
+      ("A002", Warning, "read is under-labelled: its label does not validate the value read");
+      ("A003", Error, "read returns a value invalid under every label");
+    ]
+
+  let description code =
+    List.find_map
+      (fun (c, _, d) -> if c = code then Some d else None)
+      table
+end

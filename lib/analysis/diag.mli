@@ -1,0 +1,55 @@
+(** The unified diagnostic model of the analysis subsystem.
+
+    Every analysis (race detector, discipline linter, label advisor)
+    reports its findings as diagnostics carrying a stable rule code, a
+    severity, and the operation / process / location they anchor to, so
+    the driver can merge, sort, filter and render them uniformly.
+
+    Rule-code namespaces: [R0xx] race detection, [L0xx] lock and
+    synchronization discipline, [A0xx] read-label advice. The table of
+    codes lives in {!Rules} and is documented in DESIGN.md. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** stable rule code, e.g. ["L001"] *)
+  severity : severity;
+  op_id : int option;  (** primary operation the diagnostic anchors to *)
+  related_op : int option;  (** second operation of a pair, if any *)
+  proc : int option;
+  loc : string option;  (** shared-memory location or lock name *)
+  message : string;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  ?op_id:int ->
+  ?related_op:int ->
+  ?proc:int ->
+  ?loc:string ->
+  string ->
+  t
+
+(** Severity comparison: [Error] orders before [Warning] before [Info]. *)
+val compare_severity : severity -> severity -> int
+
+(** Deterministic report order: severity, then rule code, then anchor op,
+    then message. Duplicates compare equal. *)
+val compare : t -> t -> int
+
+val severity_to_string : severity -> string
+
+(** [pp] renders one diagnostic on one line:
+    [error R001 op#3<->op#7 p1 [x]: message]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_json d] is a compact JSON object (hand-rolled; no dependencies). *)
+val to_json : t -> string
+
+(** Rule-code table: code, default severity, one-line description. *)
+module Rules : sig
+  val table : (string * severity * string) list
+
+  val description : string -> string option
+end

@@ -1,0 +1,124 @@
+module History = Mc_history.History
+module Op = Mc_history.Op
+module Program_class = Mc_consistency.Program_class
+
+type state = Virgin | Exclusive | Shared | Shared_modified
+
+type info = {
+  loc : Op.location;
+  state : state;
+  candidates : Op.lock_name list;
+  accessors : int list;
+  first_unprotected : int option;
+  awaited : bool;
+}
+
+let state_to_string = function
+  | Virgin -> "virgin"
+  | Exclusive -> "exclusive"
+  | Shared -> "shared"
+  | Shared_modified -> "shared-modified"
+
+type cell = {
+  mutable st : state;
+  mutable owner : int;
+  mutable cands : Op.lock_name list option; (* None = universe *)
+  mutable accs : int list;
+  mutable first_empty : int option;
+  mutable has_await : bool;
+}
+
+let analyze ?shared h =
+  let shared =
+    match shared with Some f -> f | None -> Program_class.default_shared h
+  in
+  let cells : (Op.location, cell) Hashtbl.t = Hashtbl.create 16 in
+  let cell loc =
+    match Hashtbl.find_opt cells loc with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          st = Virgin;
+          owner = -1;
+          cands = None;
+          accs = [];
+          first_empty = None;
+          has_await = false;
+        }
+      in
+      Hashtbl.add cells loc c;
+      c
+  in
+  (* accesses in per-process invocation order, with the held locksets *)
+  List.iter
+    (fun ((o : Op.t), loc, held) ->
+      if shared loc then begin
+        let c = cell loc in
+        let is_write = Op.is_write_like o in
+        (* Eraser state machine *)
+        (c.st <-
+           (match c.st with
+           | Virgin -> Exclusive
+           | Exclusive when o.proc = c.owner -> Exclusive
+           | Exclusive -> if is_write then Shared_modified else Shared
+           | Shared -> if is_write then Shared_modified else Shared
+           | Shared_modified -> Shared_modified));
+        if c.owner = -1 then c.owner <- o.proc;
+        if not (List.mem o.proc c.accs) then c.accs <- o.proc :: c.accs;
+        (* lockset refinement: write accesses only count write-mode locks *)
+        let sufficient =
+          List.filter_map
+            (fun (l, mode) ->
+              match mode, is_write with
+              | Program_class.Mode_write, _ -> Some l
+              | Program_class.Mode_read, false -> Some l
+              | Program_class.Mode_read, true -> None)
+            held
+        in
+        let refined =
+          match c.cands with
+          | None -> sufficient
+          | Some prev -> List.filter (fun l -> List.mem l sufficient) prev
+        in
+        if refined = [] && c.first_empty = None then c.first_empty <- Some o.id;
+        c.cands <- Some refined
+      end)
+    (Program_class.accesses_with_held_locks h);
+  (* awaits bypass the lock discipline entirely *)
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Await { loc; _ } when shared loc -> (cell loc).has_await <- true
+      | _ -> ())
+    (History.ops h);
+  Hashtbl.fold
+    (fun loc c acc ->
+      {
+        loc;
+        state = c.st;
+        candidates = List.sort compare (Option.value ~default:[] c.cands);
+        accessors = List.sort compare c.accs;
+        first_unprotected = c.first_empty;
+        awaited = c.has_await;
+      }
+      :: acc)
+    cells []
+  |> List.sort (fun a b -> compare a.loc b.loc)
+
+let is_protected i = i.candidates <> [] && not i.awaited
+
+let diagnostics infos =
+  List.filter_map
+    (fun i ->
+      if i.state = Shared_modified && i.candidates = [] then
+        Some
+          (Diag.make ~rule:"R002" ~severity:Diag.Warning
+             ?op_id:i.first_unprotected ~loc:i.loc
+             (Printf.sprintf
+                "location %s is written by processes {%s} with an empty \
+                 candidate lockset (Eraser discipline)"
+                i.loc
+                (String.concat "," (List.map string_of_int i.accessors))))
+      else None)
+    infos

@@ -1,0 +1,48 @@
+(** Eraser-style lockset analysis (Savage et al.) over recorded histories.
+
+    For every shared location the analysis tracks the classic Eraser
+    state machine (virgin → exclusive → shared → shared-modified) and
+    refines a {e candidate lockset}: the set of locks held — in a
+    sufficient mode — at every access so far. A write access requires the
+    lock in write mode; a read access accepts either mode.
+
+    Two uses: (1) a location whose final candidate lockset is non-empty
+    is fully protected, so every conflicting access pair is ordered by
+    the lock order and the race detector can skip it without consulting
+    happens-before; (2) a location that reaches shared-modified with an
+    empty lockset is flagged even when the recorded schedule happened to
+    order every access — the classic Eraser argument that lock-discipline
+    violations are schedule-independent race risks. *)
+
+type state = Virgin | Exclusive | Shared | Shared_modified
+
+type info = {
+  loc : Mc_history.Op.location;
+  state : state;
+  candidates : Mc_history.Op.lock_name list;
+      (** locks held in a sufficient mode at every access, sorted *)
+  accessors : int list;  (** processes that accessed the location, sorted *)
+  first_unprotected : int option;
+      (** id of the first access that emptied the lockset, if any *)
+  awaited : bool;
+      (** some await observes the location; awaits execute outside any
+          lock discipline, so protection claims exclude them *)
+}
+
+val state_to_string : state -> string
+
+(** [analyze ?shared h] computes one {!info} per location subject to the
+    discipline. [shared] defaults to
+    [Mc_consistency.Program_class.default_shared]. *)
+val analyze :
+  ?shared:(Mc_history.Op.location -> bool) ->
+  Mc_history.History.t ->
+  info list
+
+(** [is_protected i] — every access held a common lock (and no await
+    bypasses the discipline), so conflicting accesses are lock-ordered. *)
+val is_protected : info -> bool
+
+(** Diagnostics: rule [R002] for shared-modified locations with an empty
+    candidate lockset. *)
+val diagnostics : info list -> Diag.t list

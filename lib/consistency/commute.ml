@@ -71,6 +71,12 @@ type report = {
   non_causal_reads : Causal.failure list;
 }
 
+(* Pairs are kept order-canonical (smaller id first) and duplicate-free so
+   reports are deterministic across runs. *)
+let canonical_pairs pairs =
+  List.sort_uniq compare
+    (List.map (fun (i, j) -> if i <= j then (i, j) else (j, i)) pairs)
+
 let theorem1_report h =
   let causality = History.causality h in
   let ops = History.ops h in
@@ -85,13 +91,22 @@ let theorem1_report h =
         pairs := (i, j) :: !pairs
     done
   done;
-  { non_commuting_pairs = List.rev !pairs; non_causal_reads = Causal.failures h }
+  {
+    non_commuting_pairs = canonical_pairs !pairs;
+    non_causal_reads = Causal.failures h;
+  }
 
 let theorem1_holds h =
   let r = theorem1_report h in
   r.non_commuting_pairs = [] && r.non_causal_reads = []
 
 let pp_report fmt r =
-  Format.fprintf fmt "@[<v>non-commuting unrelated pairs: %d@ non-causal reads: %d@]"
-    (List.length r.non_commuting_pairs)
-    (List.length r.non_causal_reads)
+  let pairs = canonical_pairs r.non_commuting_pairs in
+  Format.fprintf fmt "@[<v>non-commuting unrelated pairs: %d" (List.length pairs);
+  List.iter (fun (i, j) -> Format.fprintf fmt "@   (%d, %d)" i j) pairs;
+  Format.fprintf fmt "@ non-causal reads: %d" (List.length r.non_causal_reads);
+  let reads = List.sort_uniq compare r.non_causal_reads in
+  List.iter
+    (fun (f : Causal.failure) -> Format.fprintf fmt "@   %a" Causal.pp_failure f)
+    reads;
+  Format.fprintf fmt "@]"

@@ -11,13 +11,25 @@
     operations unrelated by the causality relation commutes and every read
     is a causal read. *)
 
+(** Memory footprint of an operation, for the syntactic commutativity
+    rules: what location it observes and what location it mutates.
+    Synchronization operations (locks, barriers) have no footprint. *)
+type footprint = {
+  observes : Mc_history.Op.location option;
+  mutates : Mc_history.Op.location option;
+  counter_op : bool;  (** decrements commute with each other *)
+}
+
+val footprint : Mc_history.Op.t -> footprint option
+
 (** [commute a b] decides commutativity of two operations from their
     kinds. *)
 val commute : Mc_history.Op.t -> Mc_history.Op.t -> bool
 
 type report = {
   non_commuting_pairs : (int * int) list;
-      (** causally-unrelated pairs that do not commute *)
+      (** causally-unrelated pairs that do not commute; order-canonical
+          (smaller id first), sorted, duplicate-free *)
   non_causal_reads : Causal.failure list;
 }
 

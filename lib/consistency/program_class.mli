@@ -18,6 +18,21 @@
 
 type lock_mode = Mode_read | Mode_write
 
+(** [loc_of_memory_op o] is the location a plain memory operation (read,
+    write, decrement) accesses; [None] for awaits and synchronization
+    operations. *)
+val loc_of_memory_op : Mc_history.Op.t -> Mc_history.Op.location option
+
+(** [accesses_with_held_locks h] scans each process in invocation order
+    and pairs every memory access with the locks (and modes) the process
+    holds when it is issued. The building block shared by the
+    entry-consistency checker and the [Mc_analysis] lockset race
+    detector. *)
+val accesses_with_held_locks :
+  Mc_history.History.t ->
+  (Mc_history.Op.t * Mc_history.Op.location * (Mc_history.Op.lock_name * lock_mode) list)
+  list
+
 type entry_violation = {
   op_id : int;
   loc : Mc_history.Op.location;

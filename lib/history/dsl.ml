@@ -5,6 +5,7 @@ let mk ?(seq = -1) kind = { kind; sync_seq = seq }
 let w loc value = mk (Op.Write { loc; value })
 let rp loc value = mk (Op.Read { loc; label = Op.PRAM; value })
 let rc loc value = mk (Op.Read { loc; label = Op.Causal; value })
+let rg members loc value = mk (Op.Read { loc; label = Op.Group members; value })
 let dec loc ~amount ~observed = mk (Op.Decrement { loc; amount; observed })
 let wl ~seq l = mk ~seq (Op.Write_lock l)
 let wu ~seq l = mk ~seq (Op.Write_unlock l)

@@ -19,6 +19,11 @@ val rp : Op.location -> Op.value -> spec
 val rc : Op.location -> Op.value -> spec
 (** Causal-labelled read returning the given value *)
 
+val rg : int list -> Op.location -> Op.value -> spec
+(** Group-labelled read (Section 3.2 generalization): causality is
+    maintained across the given group of processes, which must include
+    the reading process. *)
+
 val dec : Op.location -> amount:Op.value -> observed:Op.value -> spec
 (** counter-object decrement *)
 

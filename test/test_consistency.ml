@@ -101,6 +101,47 @@ let test_mixed_labels () =
   | [ { read_id = 4; label = Op.Causal; _ } ] -> ()
   | _ -> Alcotest.fail "expected exactly the causal read to fail"
 
+(* Group labels in Definition 4's per-label dispatch: a singleton group
+   is a PRAM read, the full group is a causal read (Section 3.2) *)
+let test_mixed_group_labels () =
+  (* the transitivity chain again; the stale read of x carries a group
+     label. Group = {reader}: behaves as PRAM, so the history passes. *)
+  let singleton =
+    Dsl.make ~procs:3
+      [
+        [ Dsl.w "x" 1 ];
+        [ Dsl.rp "x" 1; Dsl.w "y" 2 ];
+        [ Dsl.rp "y" 2; Dsl.rg [ 2 ] "x" 0 ];
+      ]
+  in
+  check "singleton group read behaves as PRAM" true
+    (Mixed.is_mixed_consistent singleton);
+  (* Group = all processes: behaves as Causal, so the stale read fails *)
+  let full =
+    Dsl.make ~procs:3
+      [
+        [ Dsl.w "x" 1 ];
+        [ Dsl.rp "x" 1; Dsl.w "y" 2 ];
+        [ Dsl.rp "y" 2; Dsl.rg [ 0; 1; 2 ] "x" 0 ];
+      ]
+  in
+  check "full group read behaves as causal" false (Mixed.is_mixed_consistent full);
+  (match Mixed.failures full with
+  | [ { read_id = 4; label = Op.Group [ 0; 1; 2 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly the group-labelled read to fail");
+  (* the intermediate group {1,2} already sees p1's forwarding of x, so
+     the stale read fails there too: the spectrum is monotone *)
+  let intermediate =
+    Dsl.make ~procs:3
+      [
+        [ Dsl.w "x" 1 ];
+        [ Dsl.rp "x" 1; Dsl.w "y" 2 ];
+        [ Dsl.rp "y" 2; Dsl.rg [ 1; 2 ] "x" 0 ];
+      ]
+  in
+  check "group {1,2} maintains causality through p1" false
+    (Mixed.is_mixed_consistent intermediate)
+
 (* FIFO violation: not even PRAM *)
 let test_not_pram () =
   let h =
@@ -380,6 +421,7 @@ let () =
           Alcotest.test_case "dekker: causal, not SC" `Quick test_dekker_causal_not_sc;
           Alcotest.test_case "chain: PRAM, not causal" `Quick test_pram_not_causal;
           Alcotest.test_case "mixed labels (Definition 4)" `Quick test_mixed_labels;
+          Alcotest.test_case "group labels (Section 3.2)" `Quick test_mixed_group_labels;
           Alcotest.test_case "FIFO violation: not PRAM" `Quick test_not_pram;
           Alcotest.test_case "write-order disagreement" `Quick test_write_order_disagreement;
           Alcotest.test_case "await strengthens PRAM" `Quick test_await_strengthens_pram;
