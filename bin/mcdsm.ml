@@ -301,12 +301,48 @@ let lint_cmd =
       in
       ("cholesky", Option.get h)
     in
+    (* the EXP-DELIVERY bench workload shape: phase-disciplined writes
+       with post-barrier PRAM reads, a lock-protected accumulator and an
+       await-signalled finish, recorded under update batching (mixed
+       runtime only: batching is a mixed-memory feature) *)
+    let delivery () =
+      let engine = Engine.create () in
+      let cfg =
+        { (Config.default ~procs:4) with record = true; batch_max = 8; propagation }
+      in
+      let rt = Runtime.create engine cfg in
+      for i = 0 to 3 do
+        Api.spawn rt i (fun api ->
+            for round = 1 to 3 do
+              for k = 0 to 5 do
+                api.Api.write
+                  (Printf.sprintf "d:%d:%d" i k)
+                  ((round * 100) + (10 * i) + k)
+              done;
+              api.Api.barrier ();
+              for j = 0 to 3 do
+                ignore
+                  (api.Api.read ~label:Op.PRAM
+                     (Printf.sprintf "d:%d:%d" j (round mod 6)))
+              done;
+              api.Api.write_lock "sum";
+              let v = api.Api.read "acc" in
+              api.Api.write "acc" (v + 1);
+              api.Api.write_unlock "sum";
+              api.Api.barrier ()
+            done;
+            if i = 0 then api.Api.write "go" 1 else api.Api.await "go" 1)
+      done;
+      ignore (Runtime.run rt);
+      ("delivery", Runtime.history rt)
+    in
     match app with
     | `Litmus -> litmus_catalog ()
     | `Solver -> [ solver () ]
     | `Em -> [ em () ]
     | `Cholesky -> [ cholesky () ]
-    | `All -> litmus_catalog () @ [ solver (); em (); cholesky () ]
+    | `Delivery -> [ delivery () ]
+    | `All -> litmus_catalog () @ [ solver (); em (); cholesky (); delivery () ]
   in
   let run app json strict memory propagation seed =
     let reports =
@@ -343,11 +379,12 @@ let lint_cmd =
                ("solver", `Solver);
                ("em", `Em);
                ("cholesky", `Cholesky);
+               ("delivery", `Delivery);
                ("all", `All);
              ])
           `Litmus
       & info [ "app" ] ~docv:"APP"
-          ~doc:"History source: litmus, solver, em, cholesky or all.")
+          ~doc:"History source: litmus, solver, em, cholesky, delivery or all.")
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")

@@ -1,4 +1,5 @@
 type propagation = Eager | Lazy | Demand | Entry
+type delivery = Fast | Reference
 
 type t = {
   procs : int;
@@ -13,6 +14,9 @@ type t = {
   timestamped_updates : bool;
   groups : int list list;
   multicast : (Mc_history.Op.location -> int list option) option;
+  delivery : delivery;
+  batch_max : int;
+  batch_window : float;
 }
 
 let default ~procs =
@@ -29,6 +33,9 @@ let default ~procs =
     timestamped_updates = true;
     groups = [];
     multicast = None;
+    delivery = Fast;
+    batch_max = 1;
+    batch_window = 1.0;
   }
 
 let propagation_to_string = function

@@ -19,6 +19,18 @@
     accesses outside critical sections see stale values. *)
 type propagation = Eager | Lazy | Demand | Entry
 
+(** Which causal-delivery engine the replicas run. [Fast] (the default)
+    uses per-writer FIFO queues with an O(1) deliverability check, a
+    blocked-on index waking only the queues whose gating entry advanced,
+    and indexed demand-invalidation / watcher wake-ups. [Reference] is the
+    retained naive implementation — a single pending list rescanned in
+    full after every message, whole-table invalidation folds and
+    re-evaluation of every watcher on every event. Both produce
+    bit-identical executions (the differential test in
+    [test/test_delivery.ml] proves it); [Reference] exists as the oracle
+    and as the before-side of the EXP-DELIVERY benchmark. *)
+type delivery = Fast | Reference
+
 type t = {
   procs : int;  (** number of DSM nodes / application processes *)
   propagation : propagation;
@@ -58,6 +70,21 @@ type t = {
           update-count scheme — each arrival reports how many updates it
           sent to each peer, and the release tells each process how many
           to wait for. *)
+  delivery : delivery;  (** causal-delivery engine, see {!delivery} *)
+  batch_max : int;
+      (** maximum number of consecutive same-writer updates coalesced
+          into one {!Protocol.Update_batch} wire message. [1] (the
+          default) disables batching — every write broadcasts its own
+          update message, the seed behavior. Batching only applies to
+          broadcast routing; under [multicast] updates are always sent
+          individually (different locations may have different subscriber
+          sets). *)
+  batch_window : float;
+      (** upper bound, in virtual time, on how long the first buffered
+          update may wait before the outgoing batch is flushed (batches
+          are also flushed when [batch_max] is reached and before every
+          synchronization operation). Only meaningful when
+          [batch_max > 1]. *)
 }
 
 val default : procs:int -> t

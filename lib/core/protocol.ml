@@ -8,8 +8,78 @@ type update = {
   is_dec : bool;
 }
 
+type batch_item = {
+  b_loc : Mc_history.Op.location;
+  b_numeric : Mc_history.Op.value;
+  b_tag : int;
+  b_is_dec : bool;
+  b_dep_delta : (int * int) list;
+}
+
+type batch = { first : update; rest : batch_item list }
+
+let batch_length b = 1 + List.length b.rest
+
+let batch_delta_entries b =
+  List.fold_left (fun acc it -> acc + List.length it.b_dep_delta) 0 b.rest
+
+(* The writer's own dep entry is never transmitted: it is [useq - 1] by
+   construction, and useqs within a batch are consecutive. *)
+let encode_batch = function
+  | [] -> invalid_arg "Protocol.encode_batch: empty batch"
+  | (first : update) :: rest ->
+    let writer = first.writer in
+    let prev = ref first in
+    let items =
+      List.map
+        (fun (u : update) ->
+          if u.writer <> writer then
+            invalid_arg "Protocol.encode_batch: mixed writers";
+          if u.useq <> !prev.useq + 1 then
+            invalid_arg "Protocol.encode_batch: non-consecutive useq";
+          let delta = ref [] in
+          Array.iteri
+            (fun j d -> if j <> writer && d <> !prev.dep.(j) then delta := (j, d) :: !delta)
+            u.dep;
+          prev := u;
+          {
+            b_loc = u.loc;
+            b_numeric = u.numeric;
+            b_tag = u.tag;
+            b_is_dec = u.is_dec;
+            b_dep_delta = List.rev !delta;
+          })
+        rest
+    in
+    { first; rest = items }
+
+let decode_batch { first; rest } =
+  let writer = first.writer in
+  let prev_dep = ref first.dep and useq = ref first.useq in
+  let decoded =
+    List.map
+      (fun it ->
+        incr useq;
+        let dep = Array.copy !prev_dep in
+        List.iter (fun (j, d) -> dep.(j) <- d) it.b_dep_delta;
+        dep.(writer) <- !useq - 1;
+        prev_dep := dep;
+        {
+          writer;
+          useq = !useq;
+          dep;
+          loc = it.b_loc;
+          numeric = it.b_numeric;
+          tag = it.b_tag;
+          is_dec = it.b_is_dec;
+        })
+      rest
+  in
+  first :: decoded
+
 type msg =
   | Update of update
+  | Update_batch of batch
   | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
   | Lock_grant of {
       lock : Mc_history.Op.lock_name;
@@ -53,6 +123,7 @@ type msg =
 let kind = function
   | Update { is_dec = false; _ } -> "update"
   | Update { is_dec = true; _ } -> "dec_update"
+  | Update_batch _ -> "update_batch"
   | Lock_request _ -> "lock_request"
   | Lock_grant _ -> "lock_grant"
   | Unlock_msg _ -> "unlock"

@@ -21,8 +21,48 @@ type update = {
   is_dec : bool;
 }
 
+(** One coalesced update inside an {!Update_batch}. Its dependency clock
+    is delta-encoded against the previous update of the batch: only the
+    entries that differ are listed, and the writer's own entry is never
+    transmitted (it equals [useq - 1], with useqs consecutive within a
+    batch). *)
+type batch_item = {
+  b_loc : Mc_history.Op.location;
+  b_numeric : Mc_history.Op.value;
+  b_tag : int;
+  b_is_dec : bool;
+  b_dep_delta : (int * int) list;
+      (** [(process, count)] entries of the dependency clock that changed
+          relative to the previous update in the batch *)
+}
+
+(** A run of consecutive updates by one writer, coalesced into a single
+    wire message between synchronization points. Only the first update
+    carries its full dependency clock. Because channels are FIFO and the
+    items are in useq order, delivering the decoded updates in sequence
+    preserves exactly the ordering guarantees of individual sends. *)
+type batch = { first : update; rest : batch_item list }
+
+(** [encode_batch updates] delta-encodes a non-empty list of updates by
+    one writer with consecutive useqs. Raises [Invalid_argument]
+    otherwise. *)
+val encode_batch : update list -> batch
+
+(** [decode_batch b] reconstructs the full updates, inverse of
+    {!encode_batch}. *)
+val decode_batch : batch -> update list
+
+(** [batch_length b] is the number of updates carried. *)
+val batch_length : batch -> int
+
+(** [batch_delta_entries b] is the total number of transmitted
+    dependency-clock delta entries, the basis of the wire-cost model for
+    batches. *)
+val batch_delta_entries : batch -> int
+
 type msg =
   | Update of update
+  | Update_batch of batch
   | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
   | Lock_grant of {
       lock : Mc_history.Op.lock_name;

@@ -1,8 +1,22 @@
 module Engine = Mc_sim.Engine
+module Pqueue = Mc_util.Pqueue
 
 type cell = { mutable numeric : int; mutable tag : int }
 
-type watcher = { pred : unit -> bool; resume : unit -> unit }
+(* ------------------------------------------------------------------ *)
+(* Watchers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Watchers are indexed by what their predicate depends on, so the fast
+   delivery engine re-evaluates only the ones whose guard can have
+   changed. [Any] watchers are re-evaluated on every state change (the
+   seed behavior for all watchers, kept as the default and as the
+   reference mode). Wake-ups preserve the seed's ordering — ready
+   watchers resume newest-first — via the installation sequence number,
+   so both engines schedule continuations in the identical order. *)
+type hint = Loc of Mc_history.Op.location | Clock | Any
+
+type watcher = { wseq : int; hint : hint; pred : unit -> bool; resume : unit -> unit }
 
 (* A Section-3.2 group view: causality maintained across [members].
    [g_applied] counts updates applied to this view per writer. An update
@@ -14,28 +28,66 @@ type group_view = {
   members : bool array;
   g_view : (Mc_history.Op.location, cell) Hashtbl.t;
   g_applied : int array;
+  (* reference engine: single rescanned pending list *)
   mutable g_pending : Protocol.update list;
+  (* fast engine: per-writer buffers keyed by (writer, useq) carrying the
+     arrival sequence number, plus blocked-on indexes. A writer with a
+     buffered head is in exactly one place: parked on a member whose view
+     application must advance, parked on a non-member whose receipt count
+     must advance, or queued in the delivery worklist mid-drain. *)
+  g_buffer : (int * int, Protocol.update * int) Hashtbl.t;
+  g_wait_applied : int list array;
+  g_wait_received : int list array;
 }
 
 type t = {
   engine : Engine.t;
   node_id : int;
   n : int;
+  fast : bool;
   mutable own_seq : int;
   applied_counts : int array;
   received_counts : int array;
   causal_view : (Mc_history.Op.location, cell) Hashtbl.t;
   pram_view : (Mc_history.Op.location, cell) Hashtbl.t;
-  mutable pending : Protocol.update list; (* causal delivery buffer *)
+  (* reference engine: causal delivery buffer, rescanned in full *)
+  mutable pending : Protocol.update list;
+  (* fast engine: per-writer FIFO buffers keyed by (writer, useq),
+     carrying each update's arrival sequence number. The head of writer
+     [w] is the update with useq [applied_counts.(w) + 1]; while present
+     it is either parked in [wait_applied.(k)] for the first blocking
+     writer [k], or queued in the worklist during an ongoing drain. *)
+  buffer : (int * int, Protocol.update * int) Hashtbl.t;
+  wait_applied : int list array;
+  mutable n_pending : int;
+  mutable arr_counter : int;
+  (* drain worklist scratch (empty between events): heads ready to apply
+     in the current pass / the next pass, keyed by arrival order. The
+     two-heap structure reproduces the reference engine's apply order
+     exactly — see the fast-engine comment below. *)
+  mutable wl_cur : int Pqueue.t;
+  mutable wl_next : int Pqueue.t;
   invalid : (Mc_history.Op.location, int array) Hashtbl.t;
-  mutable watchers : watcher list;
+  (* fast engine: demand-mode obligations parked on their first
+     unsatisfied clock entry; an obligation is re-examined only when that
+     writer's applied count advances *)
+  inv_wait : Mc_history.Op.location list array;
+  (* watcher buckets *)
+  mutable w_any : watcher list;
+  mutable w_clock : watcher list;
+  w_loc : (Mc_history.Op.location, watcher list ref) Hashtbl.t;
+  mutable next_wseq : int;
+  (* dirty sets accumulated between watcher firings (fast engine) *)
+  dirty_locs : (Mc_history.Op.location, unit) Hashtbl.t;
+  mutable dirty_clock : bool;
   group_views : (int list * group_view) list;
   causal_delivery : bool;
       (* false under multicast routing: updates may arrive with gaps in
          the writer sequence, so only the PRAM view is maintained *)
 }
 
-let create engine ~id ~n ?(groups = []) ?(causal_delivery = true) () =
+let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
+    ?(delivery = Config.Fast) () =
   let make_group members_list =
     let members = Array.make n false in
     List.iter
@@ -49,20 +101,36 @@ let create engine ~id ~n ?(groups = []) ?(causal_delivery = true) () =
         g_view = Hashtbl.create 32;
         g_applied = Array.make n 0;
         g_pending = [];
+        g_buffer = Hashtbl.create 32;
+        g_wait_applied = Array.make n [];
+        g_wait_received = Array.make n [];
       } )
   in
   {
     engine;
     node_id = id;
     n;
+    fast = (delivery = Config.Fast);
     own_seq = 0;
     applied_counts = Array.make n 0;
     received_counts = Array.make n 0;
     causal_view = Hashtbl.create 64;
     pram_view = Hashtbl.create 64;
     pending = [];
+    buffer = Hashtbl.create 64;
+    wait_applied = Array.make n [];
+    n_pending = 0;
+    arr_counter = 0;
+    wl_cur = Pqueue.create ();
+    wl_next = Pqueue.create ();
     invalid = Hashtbl.create 8;
-    watchers = [];
+    inv_wait = Array.make n [];
+    w_any = [];
+    w_clock = [];
+    w_loc = Hashtbl.create 8;
+    next_wseq = 0;
+    dirty_locs = Hashtbl.create 8;
+    dirty_clock = false;
     group_views = List.map make_group groups;
     causal_delivery;
   }
@@ -70,7 +138,7 @@ let create engine ~id ~n ?(groups = []) ?(causal_delivery = true) () =
 let id t = t.node_id
 let applied t = Array.copy t.applied_counts
 let received t = Array.copy t.received_counts
-let pending_count t = List.length t.pending
+let pending_count t = if t.fast then t.n_pending else List.length t.pending
 
 let view_cell view loc =
   match Hashtbl.find_opt view loc with
@@ -108,69 +176,157 @@ let find_group t group =
 
 let group_read t ~group loc = read_view (find_group t group).g_view loc
 
-(* a member update is deliverable to a group view when its member
-   dependencies are applied to the view (per-writer in order) and its
-   non-member dependencies have at least been received *)
-let group_deliverable t g (u : Protocol.update) =
-  g.g_applied.(u.writer) = u.useq - 1
-  && (let ok = ref true in
-      Array.iteri
-        (fun k d ->
-          if k <> u.writer then
-            if g.members.(k) then begin
-              if g.g_applied.(k) < d then ok := false
-            end
-            else if t.received_counts.(k) < d then ok := false)
-        u.dep;
-      !ok)
-
-let group_apply g (u : Protocol.update) =
-  apply_to_view g.g_view u;
-  g.g_applied.(u.writer) <- g.g_applied.(u.writer) + 1
-
-let drain_group t g =
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    let rec scan acc = function
-      | [] -> List.rev acc
-      | u :: rest ->
-        if group_deliverable t g u then begin
-          group_apply g u;
-          progress := true;
-          scan acc rest
-        end
-        else scan (u :: acc) rest
-    in
-    g.g_pending <- scan [] g.g_pending
-  done
-
-let group_receive t g (u : Protocol.update) =
-  (* every update waits for its dependencies on group members to be
-     applied to this view: a non-member's update can causally depend on a
-     member's write (the writer observed it before writing), and the
-     group relation includes reads-from edges that touch members *)
-  g.g_pending <- g.g_pending @ [ u ];
-  drain_group t g
-
 let dep_satisfied t dep =
   let ok = ref true in
   Array.iteri (fun j d -> if t.applied_counts.(j) < d then ok := false) dep;
   !ok
 
-let notify t =
-  (* Fire watchers whose predicate now holds. A fired resume may run a
-     continuation that installs new watchers, so snapshot first. *)
-  let rec fire () =
-    let ready, blocked = List.partition (fun w -> w.pred ()) t.watchers in
-    t.watchers <- blocked;
-    match ready with
-    | [] -> ()
-    | ws ->
-      List.iter (fun w -> w.resume ()) ws;
-      fire ()
-  in
-  fire ()
+(* ------------------------------------------------------------------ *)
+(* Watcher firing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mark_dirty_loc t loc =
+  if t.fast && not (Hashtbl.mem t.dirty_locs loc) then
+    Hashtbl.add t.dirty_locs loc ()
+
+let put_back t w =
+  match w.hint with
+  | Any -> t.w_any <- w :: t.w_any
+  | Clock -> t.w_clock <- w :: t.w_clock
+  | Loc loc -> (
+    match Hashtbl.find_opt t.w_loc loc with
+    | Some r -> r := w :: !r
+    | None -> Hashtbl.add t.w_loc loc (ref [ w ]))
+
+(* Fire the candidate watchers in descending installation order (the
+   seed resumed ready watchers newest-first); predicates that still fail
+   return to their bucket. A fired resume only schedules the suspended
+   fiber, so no predicate can change state during the sweep. *)
+let fire_candidates t candidates =
+  match candidates with
+  | [] -> ()
+  | _ ->
+    let sorted = List.sort (fun a b -> compare b.wseq a.wseq) candidates in
+    List.iter (fun w -> if w.pred () then w.resume () else put_back t w) sorted
+
+let fire_all t =
+  Hashtbl.reset t.dirty_locs;
+  t.dirty_clock <- false;
+  let candidates = ref [] in
+  candidates := List.rev_append t.w_any !candidates;
+  t.w_any <- [];
+  candidates := List.rev_append t.w_clock !candidates;
+  t.w_clock <- [];
+  Hashtbl.iter (fun _ r -> candidates := List.rev_append !r !candidates) t.w_loc;
+  Hashtbl.reset t.w_loc;
+  fire_candidates t !candidates
+
+let fire_dirty t =
+  if not t.fast then fire_all t
+  else begin
+    let candidates = ref [] in
+    candidates := List.rev_append t.w_any !candidates;
+    t.w_any <- [];
+    if t.dirty_clock then begin
+      candidates := List.rev_append t.w_clock !candidates;
+      t.w_clock <- []
+    end;
+    Hashtbl.iter
+      (fun loc () ->
+        match Hashtbl.find_opt t.w_loc loc with
+        | Some r ->
+          candidates := List.rev_append !r !candidates;
+          Hashtbl.remove t.w_loc loc
+        | None -> ())
+      t.dirty_locs;
+    Hashtbl.reset t.dirty_locs;
+    t.dirty_clock <- false;
+    fire_candidates t !candidates
+  end
+
+let notify t = fire_all t
+
+(* ------------------------------------------------------------------ *)
+(* Demand-mode invalidation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* first clock entry not yet applied locally; [None] means satisfied *)
+let blocking_index t dep =
+  let k = ref (-1) in
+  (try
+     Array.iteri
+       (fun j d ->
+         if t.applied_counts.(j) < d then begin
+           k := j;
+           raise Exit
+         end)
+       dep
+   with Exit -> ());
+  if !k < 0 then None else Some !k
+
+let mark_invalid t loc dep =
+  if not (dep_satisfied t dep) then
+    match Hashtbl.find_opt t.invalid loc with
+    | Some prev ->
+      (* the fast engine keeps the existing parking: the parked clock was
+         unsatisfied and the merged clock only grows entrywise *)
+      Hashtbl.replace t.invalid loc
+        (Array.init (Array.length dep) (fun j -> max prev.(j) dep.(j)))
+    | None -> (
+      Hashtbl.replace t.invalid loc dep;
+      if t.fast then
+        match blocking_index t dep with
+        | Some k -> t.inv_wait.(k) <- loc :: t.inv_wait.(k)
+        | None -> assert false)
+
+let location_blocked t loc =
+  match Hashtbl.find_opt t.invalid loc with
+  | Some dep -> not (dep_satisfied t dep)
+  | None -> false
+
+(* re-examine the obligations parked on writer [w] after its applied
+   count advanced: satisfied ones clear (waking readers of the
+   location), the rest re-park on their next unsatisfied entry *)
+let recheck_invalid t w =
+  match t.inv_wait.(w) with
+  | [] -> ()
+  | locs ->
+    t.inv_wait.(w) <- [];
+    List.iter
+      (fun loc ->
+        match Hashtbl.find_opt t.invalid loc with
+        | None -> ()
+        | Some dep -> (
+          match blocking_index t dep with
+          | None ->
+            Hashtbl.remove t.invalid loc;
+            mark_dirty_loc t loc
+          | Some k -> t.inv_wait.(k) <- loc :: t.inv_wait.(k)))
+      locs
+
+(* ------------------------------------------------------------------ *)
+(* Causal application                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let causal_apply t (u : Protocol.update) =
+  apply_to_view t.causal_view u;
+  mark_dirty_loc t u.loc;
+  t.applied_counts.(u.writer) <- t.applied_counts.(u.writer) + 1;
+  t.dirty_clock <- true;
+  if t.fast then recheck_invalid t u.writer
+  else begin
+    (* clear satisfied demand-mode obligations (whole-table fold) *)
+    let cleared =
+      Hashtbl.fold
+        (fun loc dep acc -> if dep_satisfied t dep then loc :: acc else acc)
+        t.invalid []
+    in
+    List.iter (Hashtbl.remove t.invalid) cleared
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reference delivery engine (retained naive path)                     *)
+(* ------------------------------------------------------------------ *)
 
 let deliverable t (u : Protocol.update) =
   t.applied_counts.(u.writer) = u.useq - 1
@@ -180,18 +336,7 @@ let deliverable t (u : Protocol.update) =
         u.dep;
       !ok)
 
-let causal_apply t (u : Protocol.update) =
-  apply_to_view t.causal_view u;
-  t.applied_counts.(u.writer) <- t.applied_counts.(u.writer) + 1;
-  (* clear satisfied demand-mode obligations *)
-  let cleared =
-    Hashtbl.fold
-      (fun loc dep acc -> if dep_satisfied t dep then loc :: acc else acc)
-      t.invalid []
-  in
-  List.iter (Hashtbl.remove t.invalid) cleared
-
-let drain_pending t =
+let drain_pending_ref t =
   let progress = ref true in
   while !progress do
     progress := false;
@@ -208,21 +353,266 @@ let drain_pending t =
     t.pending <- scan [] t.pending
   done
 
-let receive t (u : Protocol.update) =
+(* a member update is deliverable to a group view when its member
+   dependencies are applied to the view (per-writer in order) and its
+   non-member dependencies have at least been received *)
+let group_deliverable t g (u : Protocol.update) =
+  g.g_applied.(u.writer) = u.useq - 1
+  && (let ok = ref true in
+      Array.iteri
+        (fun k d ->
+          if k <> u.writer then
+            if g.members.(k) then begin
+              if g.g_applied.(k) < d then ok := false
+            end
+            else if t.received_counts.(k) < d then ok := false)
+        u.dep;
+      !ok)
+
+let group_apply t g (u : Protocol.update) =
+  apply_to_view g.g_view u;
+  mark_dirty_loc t u.loc;
+  g.g_applied.(u.writer) <- g.g_applied.(u.writer) + 1
+
+let drain_group_ref t g =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec scan acc = function
+      | [] -> List.rev acc
+      | u :: rest ->
+        if group_deliverable t g u then begin
+          group_apply t g u;
+          progress := true;
+          scan acc rest
+        end
+        else scan (u :: acc) rest
+    in
+    g.g_pending <- scan [] g.g_pending
+  done
+
+let group_receive_ref t g (u : Protocol.update) =
+  (* every update waits for its dependencies on group members to be
+     applied to this view: a non-member's update can causally depend on a
+     member's write (the writer observed it before writing), and the
+     group relation includes reads-from edges that touch members *)
+  g.g_pending <- g.g_pending @ [ u ];
+  drain_group_ref t g
+
+(* ------------------------------------------------------------------ *)
+(* Fast delivery engine                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference drain is a fixpoint of full rescans: each pass walks
+   the pending buffer in arrival order applying whatever is deliverable
+   at its scan position. The apply ORDER is observable — two concurrent
+   updates to one location resolve last-writer-wins — so the fast engine
+   must reproduce it exactly. An update ends up applied at lexicographic
+   key (pass, arrival position), where an update enabled by an
+   application at arrival position [a] joins the SAME pass if it sits
+   after [a] in arrival order and the NEXT pass otherwise; updates
+   deliverable when the event starts form pass 1.
+
+   The engine keeps per-writer FIFO buffers — channels are FIFO, so the
+   only possibly-deliverable update of writer [w] is its head, useq
+   [applied.(w) + 1] — making deliverability one O(procs) check instead
+   of a rescan. A blocked head parks on the first clock entry gating it
+   and is re-examined exactly when that entry advances; a ready head
+   enters a two-heap worklist (current pass / next pass, ordered by
+   arrival) whose pops follow exactly the reference order. Once queued a
+   head stays deliverable: applied counts only grow. *)
+
+let pop_ready t =
+  if Pqueue.is_empty t.wl_cur then
+    if Pqueue.is_empty t.wl_next then None
+    else begin
+      (* pass boundary: promote the accumulated next-pass heads *)
+      let tmp = t.wl_cur in
+      t.wl_cur <- t.wl_next;
+      t.wl_next <- tmp;
+      let arr, w = Pqueue.pop_min t.wl_cur in
+      Some (int_of_float arr, w)
+    end
+  else
+    let arr, w = Pqueue.pop_min t.wl_cur in
+    Some (int_of_float arr, w)
+
+(* first clock entry blocking [u] from the causal view, excluding the
+   writer's own entry (the per-writer head invariant covers it). An
+   update is never gated on the receiving node itself: FIFO channels
+   give [dep.(self) <= applied.(self)] at receipt, so parking on self —
+   which could never be woken — cannot happen. *)
+let blocking_writer t (u : Protocol.update) =
+  let k = ref (-1) in
+  (try
+     Array.iteri
+       (fun j d ->
+         if j <> u.writer && t.applied_counts.(j) < d then begin
+           k := j;
+           raise Exit
+         end)
+       u.dep
+   with Exit -> ());
+  if !k < 0 then None else Some !k
+
+(* examine writer [w]'s head after the state advanced: park it if still
+   blocked, otherwise queue it for the pass implied by the enabling
+   arrival position [from_arr] ([-1] seeds pass 1 at event start) *)
+let check_writer t ~from_arr w =
+  match Hashtbl.find_opt t.buffer (w, t.applied_counts.(w) + 1) with
+  | None -> ()
+  | Some (u, arr) -> (
+    match blocking_writer t u with
+    | Some k -> t.wait_applied.(k) <- w :: t.wait_applied.(k)
+    | None ->
+      Pqueue.add
+        (if arr > from_arr then t.wl_cur else t.wl_next)
+        ~priority:(float_of_int arr) w)
+
+let run_main_worklist t =
+  let rec go () =
+    match pop_ready t with
+    | None -> ()
+    | Some (arr_v, w) ->
+      let key = (w, t.applied_counts.(w) + 1) in
+      let u, _ = Hashtbl.find t.buffer key in
+      Hashtbl.remove t.buffer key;
+      t.n_pending <- t.n_pending - 1;
+      causal_apply t u;
+      check_writer t ~from_arr:arr_v w;
+      let parked = t.wait_applied.(w) in
+      t.wait_applied.(w) <- [];
+      List.iter (fun w' -> check_writer t ~from_arr:arr_v w') parked;
+      go ()
+  in
+  go ()
+
+(* group-view analogue: the blocked-on index distinguishes member
+   entries (woken when the view applies that writer) from non-member
+   entries (woken when an update from that writer is received) *)
+let g_blocking t g (u : Protocol.update) =
+  let res = ref None in
+  (try
+     Array.iteri
+       (fun j d ->
+         if j <> u.writer then
+           if g.members.(j) then begin
+             if g.g_applied.(j) < d then begin
+               res := Some (`Member j);
+               raise Exit
+             end
+           end
+           else if t.received_counts.(j) < d then begin
+             res := Some (`Non_member j);
+             raise Exit
+           end)
+       u.dep
+   with Exit -> ());
+  !res
+
+let g_check_writer t g ~from_arr w =
+  match Hashtbl.find_opt g.g_buffer (w, g.g_applied.(w) + 1) with
+  | None -> ()
+  | Some (u, arr) -> (
+    match g_blocking t g u with
+    | Some (`Member k) -> g.g_wait_applied.(k) <- w :: g.g_wait_applied.(k)
+    | Some (`Non_member k) -> g.g_wait_received.(k) <- w :: g.g_wait_received.(k)
+    | None ->
+      Pqueue.add
+        (if arr > from_arr then t.wl_cur else t.wl_next)
+        ~priority:(float_of_int arr) w)
+
+let run_group_worklist t g =
+  let rec go () =
+    match pop_ready t with
+    | None -> ()
+    | Some (arr_v, w) ->
+      let key = (w, g.g_applied.(w) + 1) in
+      let u, _ = Hashtbl.find g.g_buffer key in
+      Hashtbl.remove g.g_buffer key;
+      group_apply t g u;
+      g_check_writer t g ~from_arr:arr_v w;
+      (* only member applications advance here; receipt counts are
+         constant within a drain, so g_wait_received stays parked *)
+      let parked = g.g_wait_applied.(w) in
+      g.g_wait_applied.(w) <- [];
+      List.iter (fun w' -> g_check_writer t g ~from_arr:arr_v w') parked;
+      go ()
+  in
+  go ()
+
+(* heads unblocked by an advance of [received_counts.(w)] (or of
+   [g_applied.(w)] for a local write) all join pass 1, exactly as the
+   reference's first rescan applies them in arrival order *)
+let g_seed_received t g w =
+  match g.g_wait_received.(w) with
+  | [] -> ()
+  | parked ->
+    g.g_wait_received.(w) <- [];
+    List.iter (g_check_writer t g ~from_arr:(-1)) parked
+
+let g_seed_applied t g w =
+  match g.g_wait_applied.(w) with
+  | [] -> ()
+  | parked ->
+    g.g_wait_applied.(w) <- [];
+    List.iter (g_check_writer t g ~from_arr:(-1)) parked
+
+(* ------------------------------------------------------------------ *)
+(* Receive                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let receive_one t (u : Protocol.update) =
   if u.writer = t.node_id then
     invalid_arg "Replica.receive: update from self (already applied locally)";
   t.received_counts.(u.writer) <- t.received_counts.(u.writer) + 1;
+  t.dirty_clock <- true;
   apply_to_view t.pram_view u;
-  if t.causal_delivery then begin
-    t.pending <- t.pending @ [ u ];
-    drain_pending t;
-    List.iter (fun (_, g) -> group_receive t g u) t.group_views
-  end;
-  notify t
+  mark_dirty_loc t u.loc;
+  if t.causal_delivery then
+    if t.fast then begin
+      t.arr_counter <- t.arr_counter + 1;
+      let arr = t.arr_counter in
+      Hashtbl.add t.buffer (u.writer, u.useq) (u, arr);
+      t.n_pending <- t.n_pending + 1;
+      (* main view: only the arriving writer's head can have become
+         deliverable (applied counts are unchanged by mere receipt) *)
+      if u.useq = t.applied_counts.(u.writer) + 1 then begin
+        check_writer t ~from_arr:(-1) u.writer;
+        run_main_worklist t
+      end;
+      List.iter
+        (fun (_, g) ->
+          Hashtbl.add g.g_buffer (u.writer, u.useq) (u, arr);
+          if u.useq = g.g_applied.(u.writer) + 1 then
+            g_check_writer t g ~from_arr:(-1) u.writer;
+          (* the receipt-count advance can unblock heads parked on this
+             (non-member) writer *)
+          g_seed_received t g u.writer;
+          run_group_worklist t g)
+        t.group_views
+    end
+    else begin
+      t.pending <- t.pending @ [ u ];
+      drain_pending_ref t;
+      List.iter (fun (_, g) -> group_receive_ref t g u) t.group_views
+    end
+
+let receive t u =
+  receive_one t u;
+  fire_dirty t
+
+let receive_many t us =
+  List.iter (receive_one t) us;
+  fire_dirty t
+
+(* ------------------------------------------------------------------ *)
+(* Local operations                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let make_update t ~loc ~numeric ~tag ~is_dec =
-  (* dependency clock: applied counts before this update; the writer's own
-     entry equals own_seq, i.e. useq - 1 *)
+  (* dependency clock: applied counts before this update; the writer's
+     own entry equals own_seq, i.e. useq - 1 *)
   let dep = Array.copy t.applied_counts in
   t.own_seq <- t.own_seq + 1;
   let u : Protocol.update =
@@ -230,15 +620,25 @@ let make_update t ~loc ~numeric ~tag ~is_dec =
   in
   apply_to_view t.causal_view u;
   apply_to_view t.pram_view u;
+  mark_dirty_loc t loc;
   t.applied_counts.(t.node_id) <- t.applied_counts.(t.node_id) + 1;
   t.received_counts.(t.node_id) <- t.received_counts.(t.node_id) + 1;
-  (* own updates apply to every group view immediately *)
+  t.dirty_clock <- true;
+  (* a remote update's dependency on us never exceeds the updates we had
+     already issued when it was sent, so the main view needs no re-drain
+     here — but group views also gate on receipt counts, and our own
+     write advances both counts for this node *)
   List.iter
     (fun (_, g) ->
-      group_apply g u;
-      drain_group t g)
+      group_apply t g u;
+      if t.fast then begin
+        g_seed_applied t g t.node_id;
+        g_seed_received t g t.node_id;
+        run_group_worklist t g
+      end
+      else drain_group_ref t g)
     t.group_views;
-  notify t;
+  fire_dirty t;
   u
 
 let local_write t ~loc ~numeric ~tag = make_update t ~loc ~numeric ~tag ~is_dec:false
@@ -261,24 +661,12 @@ let install_direct t ~loc ~numeric ~tag =
   set t.causal_view;
   set t.pram_view;
   List.iter (fun (_, g) -> set g.g_view) t.group_views;
-  notify t
+  mark_dirty_loc t loc;
+  fire_dirty t
 
-let mark_invalid t loc dep =
-  if not (dep_satisfied t dep) then begin
-    let merged =
-      match Hashtbl.find_opt t.invalid loc with
-      | Some prev -> Array.init (Array.length dep) (fun j -> max prev.(j) dep.(j))
-      | None -> dep
-    in
-    Hashtbl.replace t.invalid loc merged
-  end
-
-let location_blocked t loc =
-  match Hashtbl.find_opt t.invalid loc with
-  | Some dep -> not (dep_satisfied t dep)
-  | None -> false
-
-let wait_until t pred =
+let wait_until t ?(hint = Any) pred =
   if not (pred ()) then
     Engine.suspend t.engine (fun resume ->
-        t.watchers <- { pred; resume } :: t.watchers)
+        let w = { wseq = t.next_wseq; hint; pred; resume } in
+        t.next_wseq <- t.next_wseq + 1;
+        put_back t w)

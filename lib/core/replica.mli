@@ -10,7 +10,20 @@
     Each installed value carries a unique [tag] used for exact reads-from
     recording; decrements adjust the numeric value without changing the
     tag (counter objects are only ever read through awaits and
-    decrements). *)
+    decrements).
+
+    Two interchangeable delivery engines implement causal delivery (see
+    {!Config.delivery}). The fast engine keeps one FIFO buffer per
+    writer: since channels are FIFO, the only update by writer [w] that
+    can ever be deliverable is the buffered head with
+    [useq = applied.(w) + 1], so deliverability is an O(procs) check of
+    that single update rather than a rescan of everything pending. A
+    blocked head is parked on the first clock entry still gating it, and
+    is re-examined exactly when that writer's applied count advances.
+    The reference engine is the seed's rescan-everything pending list,
+    retained as a differential-testing oracle. Both engines apply the
+    same updates in the same order and wake watchers in the same order,
+    so executions are bit-identical. *)
 
 type t
 
@@ -26,11 +39,14 @@ val create :
   n:int ->
   ?groups:int list list ->
   ?causal_delivery:bool ->
+  ?delivery:Config.delivery ->
   unit ->
   t
 (** [causal_delivery:false] disables the causal view and group views —
     used by the multicast routing mode, where updates arrive with gaps in
-    writer sequences and only the PRAM view is meaningful. *)
+    writer sequences and only the PRAM view is meaningful.
+    [delivery] selects the causal-delivery engine (default
+    {!Config.Fast}). *)
 
 val id : t -> int
 
@@ -61,6 +77,11 @@ val local_dec :
     the PRAM view immediately and to the causal view once deliverable,
     then wakes any watchers whose condition became true. *)
 val receive : t -> Protocol.update -> unit
+
+(** [receive_many t updates] ingests a decoded {!Protocol.Update_batch}:
+    every update is processed as by {!receive}, but watchers are woken
+    once, after the whole batch — one wire message, one wake sweep. *)
+val receive_many : t -> Protocol.update list -> unit
 
 (** [pending_count t] is the number of received updates still awaiting
     causal delivery. *)
@@ -99,11 +120,21 @@ val location_blocked : t -> Mc_history.Op.location -> bool
 
 (** {1 Blocking} *)
 
-(** [wait_until t pred] suspends the calling fiber until [pred ()] holds.
-    The predicate is re-evaluated after every state change of the
-    replica. Returns immediately if already true. *)
-val wait_until : t -> (unit -> bool) -> unit
+(** What a watcher's predicate depends on, so the fast engine
+    re-evaluates it only when that part of the replica state changes:
+    [Loc l] — the value or demand-obligation of location [l]; [Clock] —
+    the applied/received counts; [Any] — re-evaluated on every change
+    (always safe, the default). A hint must be {e conservative}: the
+    predicate may only flip when the hinted state changes. *)
+type hint = Loc of Mc_history.Op.location | Clock | Any
 
-(** [notify t] re-evaluates watcher predicates; exposed for the runtime
-    to call after non-replica state changes (e.g. lock grants). *)
+(** [wait_until t ?hint pred] suspends the calling fiber until [pred ()]
+    holds. The predicate is re-evaluated per [hint] (default [Any]:
+    after every state change of the replica). Returns immediately if
+    already true. *)
+val wait_until : t -> ?hint:hint -> (unit -> bool) -> unit
+
+(** [notify t] re-evaluates every watcher predicate regardless of hints;
+    exposed for the runtime to call after non-replica state changes
+    (e.g. lock grants). *)
 val notify : t -> unit

@@ -22,10 +22,43 @@ type node = {
   subset_episodes : (int list, int ref) Hashtbl.t;
   sent_updates : int array; (* cumulative updates sent to each peer *)
   mutable open_write_sets :
-    (Op.lock_name * (Op.location * int * int) list ref) list;
-      (* (location, numeric, tag) written under each currently-held write
-         lock: locations feed demand-mode invalidations, values feed
-         entry-mode grants *)
+    (Op.lock_name * (Op.location, int * int * int) Hashtbl.t) list;
+      (* loc -> (write_seq, numeric, tag) written under each
+         currently-held write lock: locations feed demand-mode
+         invalidations, values feed entry-mode grants. The sequence
+         number orders the extracted write-set most-recent-first at
+         release time *)
+  mutable write_seq : int;
+  (* outgoing update batching (broadcast routing only): updates buffered
+     since the last flush, newest first *)
+  mutable outbox : Protocol.update list;
+  mutable outbox_len : int;
+  mutable flush_scheduled : bool; (* a batch-window timer is outstanding *)
+}
+
+(* Statistics handles resolved once at creation, so the per-operation
+   record is a direct increment / Welford add instead of a hash lookup
+   on every call. *)
+type hot = {
+  c_read : int ref;
+  c_write : int ref;
+  c_init_counter : int ref;
+  c_decrement : int ref;
+  c_write_lock : int ref;
+  c_read_lock : int ref;
+  c_write_unlock : int ref;
+  c_read_unlock : int ref;
+  c_barrier : int ref;
+  c_barrier_subset : int ref;
+  c_await : int ref;
+  c_compute : int ref;
+  s_read : Summary.t;
+  s_write_lock : Summary.t;
+  s_read_lock : Summary.t;
+  s_write_unlock : Summary.t;
+  s_read_unlock : Summary.t;
+  s_barrier : Summary.t;
+  s_await : Summary.t;
 }
 
 type t = {
@@ -39,6 +72,7 @@ type t = {
   mutable tag_counter : int;
   waits : (string, Summary.t) Hashtbl.t;
   ops : Counters.t;
+  hot : hot;
 }
 
 type proc = { rt : t; id : int }
@@ -58,6 +92,15 @@ let vc_bytes cfg = 8 * cfg.Config.procs
 let update_wire_bytes cfg =
   cfg.Config.update_bytes
   + (if cfg.Config.timestamped_updates then vc_bytes cfg else 0)
+
+(* a batch carries every item's payload but only one full vector
+   timestamp; the remaining clocks are delta-encoded at 8 bytes per
+   transmitted entry *)
+let batch_wire_bytes cfg b =
+  (cfg.Config.update_bytes * Protocol.batch_length b)
+  + (if cfg.Config.timestamped_updates then
+       vc_bytes cfg + (8 * Protocol.batch_delta_entries b)
+     else 0)
 
 let control_wire_bytes cfg msg =
   cfg.Config.control_bytes
@@ -82,6 +125,8 @@ let handle_message t node_id ~src msg =
   let node = t.nodes.(node_id) in
   match msg with
   | Protocol.Update u -> Replica.receive node.replica u
+  | Protocol.Update_batch b ->
+    Replica.receive_many node.replica (Protocol.decode_batch b)
   | Protocol.Lock_request _ | Protocol.Unlock_msg _ ->
     Lock_manager.handle t.lock_managers.(node_id) ~src msg
   | Protocol.Lock_grant { lock; _ } -> (
@@ -122,6 +167,36 @@ let create engine ?latency cfg =
     Network.create engine ~nodes:n ~latency ~send_cost:cfg.Config.send_cost
       ~byte_cost:cfg.Config.byte_cost ()
   in
+  let waits = Hashtbl.create 8 in
+  let ops = Counters.create () in
+  let summary name =
+    let s = Summary.create () in
+    Hashtbl.add waits name s;
+    s
+  in
+  let hot =
+    {
+      c_read = Counters.counter ops "read";
+      c_write = Counters.counter ops "write";
+      c_init_counter = Counters.counter ops "init_counter";
+      c_decrement = Counters.counter ops "decrement";
+      c_write_lock = Counters.counter ops "write_lock";
+      c_read_lock = Counters.counter ops "read_lock";
+      c_write_unlock = Counters.counter ops "write_unlock";
+      c_read_unlock = Counters.counter ops "read_unlock";
+      c_barrier = Counters.counter ops "barrier";
+      c_barrier_subset = Counters.counter ops "barrier_subset";
+      c_await = Counters.counter ops "await";
+      c_compute = Counters.counter ops "compute";
+      s_read = summary "read";
+      s_write_lock = summary "write_lock";
+      s_read_lock = summary "read_lock";
+      s_write_unlock = summary "write_unlock";
+      s_read_unlock = summary "read_unlock";
+      s_barrier = summary "barrier";
+      s_await = summary "await";
+    }
+  in
   let rec t =
     lazy
       (let send_from home ~dst msg =
@@ -136,7 +211,8 @@ let create engine ?latency cfg =
                {
                  replica =
                    Replica.create engine ~id ~n ~groups:cfg.Config.groups
-                     ~causal_delivery:(cfg.Config.multicast = None) ();
+                     ~causal_delivery:(cfg.Config.multicast = None)
+                     ~delivery:cfg.Config.delivery ();
                  grant_waiters = Hashtbl.create 4;
                  ack_waiters = Hashtbl.create 4;
                  flush_waiter = None;
@@ -145,6 +221,10 @@ let create engine ?latency cfg =
                  subset_episodes = Hashtbl.create 4;
                  sent_updates = Array.make n 0;
                  open_write_sets = [];
+                 write_seq = 0;
+                 outbox = [];
+                 outbox_len = 0;
+                 flush_scheduled = false;
                });
          lock_managers =
            Array.init n (fun home ->
@@ -155,8 +235,9 @@ let create engine ?latency cfg =
          recorder =
            (if cfg.Config.record then Some (Recorder.create ~procs:n) else None);
          tag_counter = 0;
-         waits = Hashtbl.create 8;
-         ops = Counters.create ();
+         waits;
+         ops;
+         hot;
        })
   in
   let t = Lazy.force t in
@@ -182,21 +263,10 @@ let spawn_thread t i f =
 (* Instrumentation helpers                                             *)
 (* ------------------------------------------------------------------ *)
 
-let note_wait t name dt =
-  let s =
-    match Hashtbl.find_opt t.waits name with
-    | Some s -> s
-    | None ->
-      let s = Summary.create () in
-      Hashtbl.add t.waits name s;
-      s
-  in
-  Summary.add s dt
-
-let timed p name f =
+let timed p s f =
   let t0 = Engine.now p.rt.engine in
   let r = f () in
-  note_wait p.rt name (Engine.now p.rt.engine -. t0);
+  Summary.add s (Engine.now p.rt.engine -. t0);
   r
 
 let charge p = Engine.delay p.rt.engine p.rt.cfg.Config.op_cost
@@ -221,13 +291,13 @@ let fresh_tag p =
 let recorded_value ~numeric ~tag = if tag <> 0 then tag else numeric
 
 let read p ?(label = Op.Causal) loc =
-  Counters.incr p.rt.ops "read";
+  incr p.rt.hot.c_read;
   charge p;
   let node = p.rt.nodes.(p.id) in
-  timed p "read" (fun () ->
+  timed p p.rt.hot.s_read (fun () ->
       (* demand mode: reads of invalidated locations block until the
          pending updates are applied *)
-      Replica.wait_until node.replica (fun () ->
+      Replica.wait_until node.replica ~hint:(Replica.Loc loc) (fun () ->
           not (Replica.location_blocked node.replica loc));
       let numeric, tag =
         match label with
@@ -249,6 +319,38 @@ let read p ?(label = Op.Causal) loc =
         (record p (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
       numeric)
 
+(* flush the buffered outbox: a single update goes out as a plain
+   [Update] (same wire cost as the unbatched path), a longer run as one
+   delta-encoded [Update_batch] whose payload is allocated once and
+   shared across the whole fan-out *)
+let flush_outbox t node_id =
+  let node = t.nodes.(node_id) in
+  match node.outbox with
+  | [] -> ()
+  | buffered ->
+    node.outbox <- [];
+    node.outbox_len <- 0;
+    (match buffered with
+    | [ u ] ->
+      let bytes = update_wire_bytes t.cfg in
+      let kind = Protocol.kind (Protocol.Update u) in
+      for dst = 0 to t.cfg.Config.procs - 1 do
+        if dst <> node_id then begin
+          node.sent_updates.(dst) <- node.sent_updates.(dst) + 1;
+          Network.send t.net ~src:node_id ~dst ~bytes ~kind (Protocol.Update u)
+        end
+      done
+    | buffered ->
+      let b = Protocol.encode_batch (List.rev buffered) in
+      let k = Protocol.batch_length b in
+      let bytes = batch_wire_bytes t.cfg b in
+      for dst = 0 to t.cfg.Config.procs - 1 do
+        if dst <> node_id then
+          node.sent_updates.(dst) <- node.sent_updates.(dst) + k
+      done;
+      Network.broadcast t.net ~src:node_id ~bytes ~kind:"update_batch"
+        (Protocol.Update_batch b))
+
 let broadcast_update p (u : Protocol.update) =
   let node = p.rt.nodes.(p.id) in
   let bytes = update_wire_bytes p.rt.cfg in
@@ -261,9 +363,28 @@ let broadcast_update p (u : Protocol.update) =
   in
   match p.rt.cfg.Config.multicast with
   | None ->
-    for dst = 0 to p.rt.cfg.Config.procs - 1 do
-      send_to dst
-    done
+    if p.rt.cfg.Config.batch_max <= 1 then
+      for dst = 0 to p.rt.cfg.Config.procs - 1 do
+        send_to dst
+      done
+    else begin
+      (* coalesce: consecutive local updates have consecutive useqs, so
+         the outbox is always a valid batch. Flushed when full, when the
+         window timer fires, and before every synchronization operation
+         (so no dependency clock sent to a peer can ever reference a
+         buffered update) *)
+      node.outbox <- u :: node.outbox;
+      node.outbox_len <- node.outbox_len + 1;
+      if node.outbox_len >= p.rt.cfg.Config.batch_max then
+        flush_outbox p.rt p.id
+      else if not node.flush_scheduled then begin
+        node.flush_scheduled <- true;
+        let rt = p.rt and id = p.id in
+        Engine.schedule rt.engine ~delay:rt.cfg.Config.batch_window (fun () ->
+            rt.nodes.(id).flush_scheduled <- false;
+            flush_outbox rt id)
+      end
+    end
   | Some subscribers -> (
     match subscribers u.loc with
     | None ->
@@ -274,10 +395,12 @@ let broadcast_update p (u : Protocol.update) =
 
 let track_write_set p loc ~numeric ~tag =
   let node = p.rt.nodes.(p.id) in
-  List.iter
-    (fun (_, log) ->
-      log := (loc, numeric, tag) :: List.filter (fun (l, _, _) -> l <> loc) !log)
-    node.open_write_sets
+  match node.open_write_sets with
+  | [] -> ()
+  | logs ->
+    node.write_seq <- node.write_seq + 1;
+    let seq = node.write_seq in
+    List.iter (fun (_, log) -> Hashtbl.replace log loc (seq, numeric, tag)) logs
 
 (* entry mode: is this process inside a write critical section? *)
 let in_entry_section p =
@@ -285,7 +408,7 @@ let in_entry_section p =
   && p.rt.nodes.(p.id).open_write_sets <> []
 
 let write p loc v =
-  Counters.incr p.rt.ops "write";
+  incr p.rt.hot.c_write;
   charge p;
   let node = p.rt.nodes.(p.id) in
   let tag = fresh_tag p in
@@ -303,7 +426,7 @@ let write p loc v =
   end
 
 let init_counter p loc v =
-  Counters.incr p.rt.ops "init_counter";
+  incr p.rt.hot.c_init_counter;
   charge p;
   let node = p.rt.nodes.(p.id) in
   ignore (record p (Op.Write { loc; value = v }));
@@ -319,7 +442,7 @@ let init_counter p loc v =
   end
 
 let decrement p loc ~amount =
-  Counters.incr p.rt.ops "decrement";
+  incr p.rt.hot.c_decrement;
   charge p;
   let node = p.rt.nodes.(p.id) in
   if in_entry_section p then begin
@@ -344,12 +467,13 @@ let acquire p lock ~write =
     invalid_arg
       "Runtime: locks are unavailable under multicast routing (use barriers; \
        the mode is for PRAM-consistent programs)";
-  Counters.incr p.rt.ops (if write then "write_lock" else "read_lock");
+  incr (if write then p.rt.hot.c_write_lock else p.rt.hot.c_read_lock);
   charge p;
+  flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   timed p
-    (if write then "write_lock" else "read_lock")
+    (if write then p.rt.hot.s_write_lock else p.rt.hot.s_read_lock)
     (fun () ->
       send p.rt ~src:p.id ~dst:(lock_home p.rt lock)
         (Protocol.Lock_request { proc = p.id; lock; write });
@@ -370,7 +494,7 @@ let acquire p lock ~write =
         (match p.rt.cfg.Config.propagation with
         | Config.Eager | Config.Lazy ->
           (* wait for the previous holders' updates to be applied *)
-          Replica.wait_until node.replica (fun () ->
+          Replica.wait_until node.replica ~hint:Replica.Clock (fun () ->
               Replica.dep_satisfied node.replica dep)
         | Config.Demand ->
           (* enter immediately; only reads of the written locations wait *)
@@ -383,18 +507,23 @@ let acquire p lock ~write =
             (fun (loc, numeric, tag) ->
               Replica.install_direct node.replica ~loc ~numeric ~tag)
             values);
-        if write then node.open_write_sets <- (lock, ref []) :: node.open_write_sets;
+        if write then
+          node.open_write_sets <-
+            (lock, Hashtbl.create 8) :: node.open_write_sets;
         record_finish p token ~sync_seq:seq
           (if write then Op.Write_lock lock else Op.Read_lock lock)
       | _ -> assert false)
 
 let release p lock ~write =
-  Counters.incr p.rt.ops (if write then "write_unlock" else "read_unlock");
+  incr (if write then p.rt.hot.c_write_unlock else p.rt.hot.c_read_unlock);
   charge p;
+  (* the unlock's dependency clock counts our buffered updates, so they
+     must be on the wire (FIFO) before it is sent *)
+  flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   timed p
-    (if write then "write_unlock" else "read_unlock")
+    (if write then p.rt.hot.s_write_unlock else p.rt.hot.s_read_unlock)
     (fun () ->
       (* eager propagation: flush all our updates everywhere first *)
       (if p.rt.cfg.Config.propagation = Config.Eager && p.rt.cfg.Config.procs > 1
@@ -412,7 +541,13 @@ let release p lock ~write =
           | Some log ->
             node.open_write_sets <-
               List.filter (fun (l, _) -> l <> lock) node.open_write_sets;
-            !log
+            (* most-recently-written-first, as the seed's move-to-front
+               log produced *)
+            Hashtbl.fold (fun loc (seq, numeric, tag) acc ->
+                (seq, (loc, numeric, tag)) :: acc)
+              log []
+            |> List.sort (fun (a, _) (b, _) -> compare (b : int) a)
+            |> List.map snd
           | None -> []
         end
         else []
@@ -454,10 +589,12 @@ let read_unlock p lock = release p lock ~write:false
 (* ------------------------------------------------------------------ *)
 
 let barrier_generic p ~members ~episode ~kind =
+  (* the arrival's clock and sent counts include buffered updates *)
+  flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   let multicast = p.rt.cfg.Config.multicast <> None in
-  timed p "barrier" (fun () ->
+  timed p p.rt.hot.s_barrier (fun () ->
       send p.rt ~src:p.id ~dst:0
         (Protocol.Barrier_arrive
            {
@@ -467,7 +604,7 @@ let barrier_generic p ~members ~episode ~kind =
              members;
              sent = (if multicast then Array.copy node.sent_updates else [||]);
            });
-      Replica.wait_until node.replica (fun () ->
+      Replica.wait_until node.replica ~hint:Replica.Clock (fun () ->
           match Hashtbl.find_opt node.released (members, episode) with
           | Some (dep, expect) ->
             if expect = [||] then Replica.dep_satisfied node.replica dep
@@ -485,7 +622,7 @@ let barrier_generic p ~members ~episode ~kind =
       record_finish p token kind)
 
 let barrier p =
-  Counters.incr p.rt.ops "barrier";
+  incr p.rt.hot.c_barrier;
   charge p;
   let node = p.rt.nodes.(p.id) in
   let episode = node.barrier_episode in
@@ -493,7 +630,7 @@ let barrier p =
   barrier_generic p ~members:[] ~episode ~kind:(Op.Barrier episode)
 
 let barrier_subset p members =
-  Counters.incr p.rt.ops "barrier_subset";
+  incr p.rt.hot.c_barrier_subset;
   charge p;
   let members = List.sort_uniq compare members in
   if not (List.mem p.id members) then
@@ -513,8 +650,9 @@ let barrier_subset p members =
     ~kind:(Op.Barrier_group { episode; members })
 
 let await p loc v =
-  Counters.incr p.rt.ops "await";
+  incr p.rt.hot.c_await;
   charge p;
+  flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   let view () =
@@ -525,14 +663,15 @@ let await p loc v =
       | Op.PRAM -> Replica.pram_read node.replica loc
       | Op.Group group -> Replica.group_read node.replica ~group loc
   in
-  timed p "await" (fun () ->
-      Replica.wait_until node.replica (fun () -> fst (view ()) = v);
+  timed p p.rt.hot.s_await (fun () ->
+      Replica.wait_until node.replica ~hint:(Replica.Loc loc) (fun () ->
+          fst (view ()) = v);
       let numeric, tag = view () in
       record_finish p token
         (Op.Await { loc; value = recorded_value ~numeric ~tag }))
 
 let compute p cost =
-  Counters.incr p.rt.ops "compute";
+  incr p.rt.hot.c_compute;
   Engine.delay p.rt.engine cost
 
 (* ------------------------------------------------------------------ *)
@@ -546,8 +685,11 @@ let history t =
 
 let peek t ~proc loc = fst (Replica.causal_read t.nodes.(proc).replica loc)
 
+(* the hot handles pre-create every name at zero; report only the ones
+   actually used, as the lazily-populated tables did *)
 let wait_summaries t =
   Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.waits []
+  |> List.filter (fun (_, s) -> Summary.count s > 0)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let op_counts t = Counters.to_list t.ops
+let op_counts t = List.filter (fun (_, k) -> k > 0) (Counters.to_list t.ops)

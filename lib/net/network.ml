@@ -95,6 +95,10 @@ let broadcast t ~src ?bytes ?kind msg =
     if dst <> src then send t ~src ~dst ?bytes ?kind msg
   done
 
+let multicast t ~src ~dsts ?bytes ?kind msg =
+  check_node t src;
+  List.iter (fun dst -> if dst <> src then send t ~src ~dst ?bytes ?kind msg) dsts
+
 let pause_link t ~src ~dst =
   check_node t src;
   check_node t dst;

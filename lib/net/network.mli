@@ -45,6 +45,13 @@ val send : 'msg t -> src:int -> dst:int -> ?bytes:int -> ?kind:string -> 'msg ->
     [src]. *)
 val broadcast : 'msg t -> src:int -> ?bytes:int -> ?kind:string -> 'msg -> unit
 
+(** [multicast t ~src ~dsts ?bytes ?kind msg] sends one copy of [msg] to
+    each destination in [dsts], skipping [src]; the payload is shared
+    across the fan-out (one allocation, one per-destination send). Used
+    by the batched update fan-out. *)
+val multicast :
+  'msg t -> src:int -> dsts:int list -> ?bytes:int -> ?kind:string -> 'msg -> unit
+
 (** [pause_link t ~src ~dst] holds messages on one directed link; they
     queue up and are released, still in FIFO order, by
     [resume_link]. Used by tests to force extreme reorderings between

@@ -48,6 +48,8 @@ module Counters = struct
       Hashtbl.add t name r;
       r
 
+  let counter = cell
+
   let add t name k =
     let r = cell t name in
     r := !r + k

@@ -23,6 +23,13 @@ module Counters : sig
   type t
 
   val create : unit -> t
+
+  (** [counter t name] is the live cell behind [name], created at zero on
+      first use. Callers on hot paths cache it to skip the per-increment
+      hash lookup; increments through the cell and through {!incr}/{!add}
+      are interchangeable. *)
+  val counter : t -> string -> int ref
+
   val incr : t -> string -> unit
   val add : t -> string -> int -> unit
   val get : t -> string -> int
