@@ -33,6 +33,45 @@ let with_bechamel = ref false
 let wants name = !selected = [] || List.mem name !selected
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_CORE.json writer                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments append named sections here; the file is written once at
+   exit so several experiments can share it. Every workload below is
+   seeded with [bench_seed]. *)
+let bench_core_sections : (string * string) list ref = ref []
+let bench_seed = 42
+
+let bench_core_add name ~params body =
+  bench_core_sections :=
+    (name, Printf.sprintf "{\n    \"params\": %s,\n%s\n  }" params body)
+    :: !bench_core_sections
+
+let write_bench_core () =
+  if !bench_core_sections <> [] then begin
+    let oc = open_out "BENCH_CORE.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"schema_version\": 2,\n\
+      \  \"seed\": %d,\n\
+      \  \"quick\": %b,\n\
+      \  \"argv\": [%s],\n\
+       %s\n\
+       }\n"
+      bench_seed !quick
+      (String.concat ", "
+         (List.map
+            (fun a -> Printf.sprintf "%S" a)
+            (List.tl (Array.to_list Sys.argv))))
+      (String.concat ",\n"
+         (List.rev_map
+            (fun (name, body) -> Printf.sprintf "  %S: %s" name body)
+            !bench_core_sections));
+    close_out oc;
+    print_endline "raw numbers: BENCH_CORE.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runners                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -752,23 +791,173 @@ let exp_delivery () =
          procs writes)
     ~headers:[ "batch_max"; "sim time"; "msgs"; "bytes" ]
     (List.rev !batch_rows);
-  let oc = open_out "BENCH_CORE.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"experiment\": \"EXP-DELIVERY\",\n\
-    \  \"quick\": %b,\n\
-    \  \"drain\": [\n%s\n  ],\n\
-    \  \"batching\": [\n%s\n  ]\n\
-     }\n"
-    !quick
-    (String.concat ",\n" (List.rev !drain_json))
-    (String.concat ",\n" (List.rev !batch_json));
-  close_out oc;
+  bench_core_add "EXP-DELIVERY"
+    ~params:
+      (Printf.sprintf
+         "{\"drain_targets\": [%s], \"ps\": [%s], \"batch_procs\": %d, \
+          \"batch_writes\": %d}"
+         (String.concat ", " (List.map string_of_int drain_targets))
+         (String.concat ", " (List.map string_of_int ps))
+         procs writes)
+    (Printf.sprintf "    \"drain\": [\n%s\n    ],\n    \"batching\": [\n%s\n    ]"
+       (String.concat ",\n" (List.rev !drain_json))
+       (String.concat ",\n" (List.rev !batch_json)));
   print_endline
     "per-writer FIFO queues make deliverability a single head check (channels are\n\
      FIFO, so only the head can apply); the seed rescans its whole pending list on\n\
      every receive. Batching coalesces consecutive same-writer updates between sync\n\
      points, delta-encoding the dependency clocks. Raw numbers: BENCH_CORE.json."
+
+(* ------------------------------------------------------------------ *)
+(* EXP-ONLINE: record-then-check vs the streaming online checker       *)
+(* ------------------------------------------------------------------ *)
+
+module Online = Mc_consistency.Online
+
+(* a phase-disciplined workload: per-round writes, a barrier, PRAM reads
+   of the neighbours' fresh values, one lock-protected accumulator
+   increment and a closing barrier; every write value is unique so the
+   recorded reads-from relation is exact *)
+let online_workload ~procs ~rounds (api : Api.t) =
+  let me = api.Api.proc_id in
+  for round = 1 to rounds do
+    for k = 0 to 3 do
+      api.Api.write
+        (Printf.sprintf "o:%d:%d" me k)
+        ((me * 10_000_000) + (round * 10) + k)
+    done;
+    api.Api.barrier ();
+    for j = 0 to procs - 1 do
+      ignore (api.Api.read ~label:Op.PRAM (Printf.sprintf "o:%d:%d" j (round mod 4)))
+    done;
+    api.Api.write_lock "acc";
+    let v = api.Api.read "sum" in
+    api.Api.write "sum" (v + 1);
+    api.Api.write_unlock "acc";
+    api.Api.barrier ()
+  done
+
+let exp_online () =
+  let procs = 4 in
+  (* ops per round: per proc 4 writes + [procs] reads + lock/read/write/
+     unlock + 2 barriers *)
+  let per_round = procs * (4 + procs + 4 + 2) in
+  let sizes =
+    if !quick then [ 1_000; 4_000 ] else [ 2_000; 5_000; 10_500; 21_000 ]
+  in
+  (* the offline checker closes the causality relation transitively and
+     retains the whole history; cap the sizes it runs at *)
+  let offline_cap = if !quick then 4_000 else 11_000 in
+  let rows = ref [] and json = ref [] in
+  List.iter
+    (fun total ->
+      let rounds = max 1 (total / per_round) in
+      let execute ~record ~check_online =
+        let engine = Engine.create () in
+        let cfg = { (Config.default ~procs) with record; check_online } in
+        let rt = Runtime.create engine cfg in
+        for i = 0 to procs - 1 do
+          Api.spawn rt i (online_workload ~procs ~rounds)
+        done;
+        let t0 = Sys.time () in
+        ignore (Runtime.run rt);
+        (rt, Sys.time () -. t0)
+      in
+      (* plain execution: the simulation cost with no checking at all *)
+      let _, t_plain = execute ~record:false ~check_online:false in
+      (* offline path: record, then materialize and check post-hoc *)
+      let rt_rec, _ = execute ~record:true ~check_online:false in
+      let h = Runtime.history rt_rec in
+      let n = Mc_history.History.length h in
+      let offline =
+        if n <= offline_cap then begin
+          let t0 = Sys.time () in
+          let fs = Mc_consistency.Mixed.failures h in
+          Some (List.length fs, Sys.time () -. t0)
+        end
+        else None
+      in
+      (* online path: streaming-only checker riding the execution; its
+         cost is the increment over the plain run, its memory the engine
+         window plus the live writer summaries (stability sweeps reclaim
+         superseded values during the run) *)
+      let rt_on, t_checked = execute ~record:false ~check_online:true in
+      let c = Option.get (Runtime.online_checker rt_on) in
+      let live = Online.stats c in
+      let t_on = Float.max (t_checked -. t_plain) 1e-4 in
+      let on_fail = live.Online.failure_count in
+      let rate t = float_of_int n /. Float.max t 1e-9 in
+      let agree =
+        match offline with
+        | Some (off_fail, _) -> if off_fail = on_fail then "yes" else "NO"
+        | None -> "-"
+      in
+      rows :=
+        [
+          string_of_int n;
+          (match offline with
+          | Some (_, t) -> Printf.sprintf "%.3f" t
+          | None -> "(skipped)");
+          Printf.sprintf "%.3f" t_on;
+          (match offline with
+          | Some (_, t) -> Printf.sprintf "%.3e" (rate t)
+          | None -> "-");
+          Printf.sprintf "%.3e" (rate t_on);
+          (match offline with
+          | Some (_, t) -> T.fmt_ratio (t /. t_on)
+          | None -> "-");
+          string_of_int n;
+          string_of_int live.Online.max_resident;
+          string_of_int live.Online.live_summaries;
+          agree;
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "      {\"ops\": %d, \"rounds\": %d, \"offline_s\": %s, \"online_s\": \
+           %.6f, \"offline_ops_per_s\": %s, \"online_ops_per_s\": %.1f, \
+           \"speedup\": %s, \"offline_resident_ops\": %d, \
+           \"online_window_high_water\": %d, \"online_live_summaries\": %d, \
+           \"failures_agree\": %b}"
+          n rounds
+          (match offline with
+          | Some (_, t) -> Printf.sprintf "%.6f" t
+          | None -> "null")
+          t_on
+          (match offline with
+          | Some (_, t) -> Printf.sprintf "%.1f" (rate t)
+          | None -> "null")
+          (rate t_on)
+          (match offline with
+          | Some (_, t) -> Printf.sprintf "%.2f" (t /. t_on)
+          | None -> "null")
+          n live.Online.max_resident live.Online.live_summaries
+          (agree <> "NO")
+        :: !json)
+    sizes;
+  T.print
+    ~title:
+      "EXP-ONLINE: offline record-then-check vs streaming checker (4 procs)"
+    ~headers:
+      [
+        "ops"; "offline (s)"; "online (s)"; "off ops/s"; "on ops/s"; "speedup";
+        "off resident"; "window hw"; "live summaries"; "agree";
+      ]
+    (List.rev !rows);
+  bench_core_add "EXP-ONLINE"
+    ~params:
+      (Printf.sprintf
+         "{\"procs\": %d, \"sizes\": [%s], \"offline_cap\": %d, \"seed\": %d}"
+         procs
+         (String.concat ", " (List.map string_of_int sizes))
+         offline_cap bench_seed)
+    (Printf.sprintf "    \"runs\": [\n%s\n    ]"
+       (String.concat ",\n" (List.rev !json)));
+  print_endline
+    "the offline path closes the causality relation transitively and keeps all n\n\
+     recorded operations resident; the streaming checker validates each read at\n\
+     response time from incremental chain clocks and retires operations once their\n\
+     causal past is covered, so its window stays bounded while throughput scales."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1090,7 +1279,7 @@ let exp_async () =
    counters, private per-process data, barrier phases, plus one
    deliberate unprotected conflict so both analyses report a race *)
 let lint_workload ~procs ~ops_per_proc =
-  let r = Mc_history.Recorder.create ~procs in
+  let r = Mc_history.Recorder.create ~procs () in
   let next = ref 0 in
   let fresh () =
     incr next;
@@ -1220,6 +1409,7 @@ let experiments =
     ("prodcon", exp_prodcon);
     ("lint", exp_lint);
     ("delivery", exp_delivery);
+    ("online", exp_online);
   ]
 
 let () =
@@ -1243,4 +1433,5 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   List.iter (fun (name, f) -> if wants name then f ()) experiments;
+  write_bench_core ();
   if !with_bechamel then bechamel_suite ()

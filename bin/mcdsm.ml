@@ -44,59 +44,174 @@ let propagation_conv =
   in
   Cmdliner.Arg.conv (parse, Config.pp_propagation)
 
+module Online = Mc_consistency.Online
+module Mixed_chk = Mc_consistency.Mixed
+module Read_rule = Mc_consistency.Read_rule
+
 (* run [f] on the chosen memory system; returns (result, sim time,
-   messages, history if recorded) *)
-let run_on ~memory ~procs ~propagation ~record f =
+   messages, history if recorded, online checker if requested). On the
+   mixed runtime the online checker runs during execution (streaming
+   verdicts, runtime stability sweeps); on the baselines it replays the
+   recorded history through the same engine afterwards. *)
+let run_on ~memory ~procs ~propagation ~record ~check_online f =
   match memory with
   | Mixed ->
     let engine = Engine.create () in
-    let cfg = { (Config.default ~procs) with propagation; record } in
+    let cfg = { (Config.default ~procs) with propagation; record; check_online } in
     let rt = Runtime.create engine cfg in
     let out = f (Api.spawn rt) in
     let time = Runtime.run rt in
     let history = if record then Some (Runtime.history rt) else None in
-    (out, time, Mc_net.Network.messages_sent (Runtime.network rt), history)
+    ( out,
+      time,
+      Mc_net.Network.messages_sent (Runtime.network rt),
+      history,
+      Runtime.online_checker rt )
   | Central ->
     let engine = Engine.create () in
-    let m = Mc_baselines.Sc_central.create engine ~record ~procs () in
+    let record' = record || check_online in
+    let m = Mc_baselines.Sc_central.create engine ~record:record' ~procs () in
     let out = f (Mc_baselines.Sc_central.spawn m) in
     let time = Mc_baselines.Sc_central.run m in
-    let history = if record then Some (Mc_baselines.Sc_central.history m) else None in
-    (out, time, Mc_baselines.Sc_central.messages_sent m, history)
+    let h = if record' then Some (Mc_baselines.Sc_central.history m) else None in
+    let checker =
+      if check_online then Option.map Online.check h else None
+    in
+    let history = if record then h else None in
+    (out, time, Mc_baselines.Sc_central.messages_sent m, history, checker)
   | Invalidate ->
     let engine = Engine.create () in
-    let m = Mc_baselines.Sc_invalidate.create engine ~record ~procs () in
+    let record' = record || check_online in
+    let m = Mc_baselines.Sc_invalidate.create engine ~record:record' ~procs () in
     let out = f (Mc_baselines.Sc_invalidate.spawn m) in
     let time = Mc_baselines.Sc_invalidate.run m in
-    let history = if record then Some (Mc_baselines.Sc_invalidate.history m) else None in
-    (out, time, Mc_baselines.Sc_invalidate.messages_sent m, history)
+    let h = if record' then Some (Mc_baselines.Sc_invalidate.history m) else None in
+    let checker =
+      if check_online then Option.map Online.check h else None
+    in
+    let history = if record then h else None in
+    (out, time, Mc_baselines.Sc_invalidate.messages_sent m, history, checker)
 
-let check_history ?(trace = false) = function
-  | None -> ()
+(* --------- check reports (shared by every app subcommand) ----------- *)
+
+let label_string = function
+  | Op.PRAM -> "pram"
+  | Op.Causal -> "causal"
+  | Op.Group _ -> "group"
+
+let verdict_fields = function
+  | Read_rule.Valid -> ("valid", None)
+  | Read_rule.No_matching_write -> ("no_matching_write", None)
+  | Read_rule.Overwritten o -> ("overwritten", Some o)
+
+let failure_json (f : Mixed_chk.failure) =
+  let verdict, over = verdict_fields f.Mixed_chk.verdict in
+  Printf.sprintf "{\"read_id\":%d,\"label\":%S,\"verdict\":%S%s}"
+    f.Mixed_chk.read_id
+    (label_string f.Mixed_chk.label)
+    verdict
+    (match over with Some o -> Printf.sprintf ",\"overwritten_by\":%d" o | None -> "")
+
+let read_counts h =
+  let pram = ref 0 and causal = ref 0 and group = ref 0 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.Op.kind with
+      | Op.Read { label = Op.PRAM; _ } -> incr pram
+      | Op.Read { label = Op.Causal; _ } -> incr causal
+      | Op.Read { label = Op.Group _; _ } -> incr group
+      | _ -> ())
+    (Mc_history.History.ops h);
+  (!pram, !causal, !group)
+
+(* machine-readable check report, mirroring [lint --json]: one object
+   with the verdict, per-rule read/failure counts and, in online mode,
+   the engine's memory statistics *)
+let check_json ~history ~checker =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  (match history with
   | Some h ->
-    if trace then begin
-      print_endline "\n--- space-time diagram ---";
-      print_string (Mc_history.Render.space_time h);
-      let path = "history.dot" in
-      let oc = open_out path in
-      output_string oc (Mc_history.Render.dot h);
-      close_out oc;
-      Printf.printf "--- causality graph written to %s ---\n" path;
-      print_string (Mc_history.Render.summary h)
-    end;
-    Printf.printf "history: %d ops, well-formed=%b, mixed-consistent=%b\n"
+    let failures = Mixed_chk.failures h in
+    let pram, causal, group = read_counts h in
+    add "\"offline\":{\"ops\":%d,\"well_formed\":%b,\"mixed_consistent\":%b,\"reads\":{\"pram\":%d,\"causal\":%d,\"group\":%d},\"failures\":[%s]}"
       (Mc_history.History.length h)
       (Mc_history.History.is_well_formed h)
-      (Mc_consistency.Mixed.is_mixed_consistent h);
-    (if Mc_history.History.length h <= 60 then
-       match Mc_consistency.Sequential.is_sequentially_consistent h with
-       | Mc_consistency.Sequential.Consistent ->
-         print_endline "sequentially consistent: yes"
-       | Inconsistent -> print_endline "sequentially consistent: no"
-       | Unknown -> print_endline "sequentially consistent: unknown (bound)");
-    let report = Mc_analysis.Analysis.analyze h in
-    print_endline "--- analysis ---";
-    Format.printf "%a" Mc_analysis.Analysis.pp report
+      (failures = []) pram causal group
+      (String.concat "," (List.map failure_json failures))
+  | None -> ());
+  (match checker with
+  | Some c ->
+    let s = Online.stats c in
+    add "\"online\":{\"ops_checked\":%d,\"mixed_consistent\":%b,\"reads\":{\"pram\":%d,\"causal\":%d,\"group\":%d},\"failures\":[%s],\"chains\":%d,\"max_resident\":%d,\"live_summaries\":%d}"
+      s.Online.ops_checked (Online.is_consistent c) s.Online.pram_reads
+      s.Online.causal_reads s.Online.group_reads
+      (String.concat "," (List.map failure_json (Online.failures c)))
+      s.Online.chains s.Online.max_resident s.Online.live_summaries
+  | None -> ());
+  Printf.sprintf "{%s}" (String.concat "," (List.rev !parts))
+
+let print_offline_report ~trace h =
+  if trace then begin
+    print_endline "\n--- space-time diagram ---";
+    print_string (Mc_history.Render.space_time h);
+    let path = "history.dot" in
+    let oc = open_out path in
+    output_string oc (Mc_history.Render.dot h);
+    close_out oc;
+    Printf.printf "--- causality graph written to %s ---\n" path;
+    print_string (Mc_history.Render.summary h)
+  end;
+  Printf.printf "history: %d ops, well-formed=%b, mixed-consistent=%b\n"
+    (Mc_history.History.length h)
+    (Mc_history.History.is_well_formed h)
+    (Mixed_chk.is_mixed_consistent h);
+  (if Mc_history.History.length h <= 60 then
+     match Mc_consistency.Sequential.is_sequentially_consistent h with
+     | Mc_consistency.Sequential.Consistent ->
+       print_endline "sequentially consistent: yes"
+     | Inconsistent -> print_endline "sequentially consistent: no"
+     | Unknown -> print_endline "sequentially consistent: unknown (bound)");
+  let report = Mc_analysis.Analysis.analyze h in
+  print_endline "--- analysis ---";
+  Format.printf "%a" Mc_analysis.Analysis.pp report
+
+let print_online_report c =
+  let s = Online.stats c in
+  Printf.printf
+    "online check: ops=%d reads=%d (pram=%d causal=%d group=%d) failures=%d\n"
+    s.Online.ops_checked s.Online.reads_checked s.Online.pram_reads
+    s.Online.causal_reads s.Online.group_reads s.Online.failure_count;
+  Printf.printf
+    "online memory: chains=%d in-flight high-water=%d live summaries=%d\n"
+    s.Online.chains s.Online.max_resident s.Online.live_summaries;
+  List.iter
+    (fun f -> Format.printf "  %a@." Mixed_chk.pp_failure f)
+    (Online.failures c)
+
+(* Print the requested reports; returns false when any requested check
+   found an inconsistency, so every subcommand exits with the same
+   status (1) on a consistency failure. Under [strict] a recorded
+   history that is not well-formed also fails. *)
+let check_report ?(json = false) ?(trace = false) ?(strict = false) ~history
+    ~checker () =
+  if json && (history <> None || checker <> None) then
+    print_endline (check_json ~history ~checker)
+  else begin
+    Option.iter (print_offline_report ~trace) history;
+    Option.iter print_online_report checker
+  end;
+  Option.fold ~none:true ~some:Mixed_chk.is_mixed_consistent history
+  && Option.fold ~none:true ~some:Online.is_consistent checker
+  && (not strict
+     || Option.fold ~none:true ~some:Mc_history.History.is_well_formed history)
+
+let exit_if_inconsistent ok = if not ok then exit 1
+
+(* app result lines go to stderr under --json so stdout is exactly the
+   machine-readable report *)
+let info ~json fmt =
+  Printf.ksprintf (fun s -> if json then prerr_string s else print_string s) fmt
 
 open Cmdliner
 
@@ -129,6 +244,35 @@ let trace_arg =
           "With --check: print a space-time diagram and write the causality \
            graph to history.dot.")
 
+let check_online_arg =
+  Arg.(
+    value & flag
+    & info [ "check-online" ]
+        ~doc:
+          "Validate every read at response time with the streaming checker \
+           and report its memory statistics. On the mixed memory the checker \
+           runs during execution; on the baselines the recorded history is \
+           replayed through it. Exits with status 1 on an inconsistency, like \
+           --check.")
+
+let check_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "With --check or --check-online: emit the check report as a single \
+           JSON object (verdict, per-rule read and failure counts, streaming \
+           memory statistics) instead of text.")
+
+let check_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "With --check or --check-online: additionally exit with status 1 \
+           when the recorded history is not well-formed. (Consistency \
+           failures always exit with status 1.)")
+
 (* ---------------- solver ---------------- *)
 
 let solver_cmd =
@@ -141,21 +285,22 @@ let solver_cmd =
     in
     Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Solver.variant_to_string v))
   in
-  let run n workers variant memory propagation record trace seed =
+  let run n workers variant memory propagation record check_online json strict trace seed =
     let procs = workers + 1 in
     let problem = Solver.Problem.generate ~seed ~n in
     let expected = Solver.reference ~variant problem in
-    let res, time, msgs, history =
-      run_on ~memory ~procs ~propagation ~record (fun spawn ->
+    let res, time, msgs, history, checker =
+      run_on ~memory ~procs ~propagation ~record ~check_online (fun spawn ->
           Solver.launch ~spawn ~procs ~variant problem)
     in
     let r = Option.get !res in
-    Printf.printf "%s: n=%d workers=%d iters=%d converged=%b\n"
+    let json = json && (record || check_online) in
+    info ~json "%s: n=%d workers=%d iters=%d converged=%b\n"
       (Solver.variant_to_string variant)
       n workers r.Solver.iterations r.Solver.converged;
-    Printf.printf "sim time=%.1fus messages=%d exact=%b\n" time msgs
+    info ~json "sim time=%.1fus messages=%d exact=%b\n" time msgs
       (r.Solver.x = expected.Solver.x);
-    check_history ~trace history
+    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"System size.") in
   let workers_arg =
@@ -171,25 +316,26 @@ let solver_cmd =
     (Cmd.info "solver" ~doc:"Iterative linear-equation solver (Sec. 5.1, Figs. 2-3)")
     Term.(
       const run $ n_arg $ workers_arg $ variant_arg $ memory_arg $ propagation_arg
-      $ record_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- em ---------------- *)
 
 let em_cmd =
-  let run procs steps cols memory propagation record trace seed =
+  let run procs steps cols memory propagation record check_online json strict trace seed =
     let params = { Em.rows = 4 * procs; cols; steps; seed } in
     let expected = Em.reference ~procs params in
-    let res, time, msgs, history =
-      run_on ~memory ~procs ~propagation ~record (fun spawn ->
+    let res, time, msgs, history, checker =
+      run_on ~memory ~procs ~propagation ~record ~check_online (fun spawn ->
           Em.launch ~spawn ~procs params)
     in
     let r = Option.get !res in
-    Printf.printf "EM field %dx%d, %d steps on %d procs\n" params.Em.rows cols steps
+    let json = json && (record || check_online) in
+    info ~json "EM field %dx%d, %d steps on %d procs\n" params.Em.rows cols steps
       procs;
-    Printf.printf "sim time=%.1fus messages=%d exact=%b energy=%d\n" time msgs
+    info ~json "sim time=%.1fus messages=%d exact=%b energy=%d\n" time msgs
       (r.Em.checksum = expected.Em.checksum)
       r.Em.energy;
-    check_history ~trace history
+    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
   in
   let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Update rounds.") in
   let cols_arg = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid width.") in
@@ -197,7 +343,7 @@ let em_cmd =
     (Cmd.info "em" ~doc:"Electromagnetic field computation (Sec. 5.2, Fig. 4)")
     Term.(
       const run $ procs_arg 4 $ steps_arg $ cols_arg $ memory_arg $ propagation_arg
-      $ record_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- cholesky ---------------- *)
 
@@ -211,20 +357,21 @@ let cholesky_cmd =
     Arg.conv
       (parse, fun fmt v -> Format.pp_print_string fmt (Cholesky.variant_to_string v))
   in
-  let run n density variant memory propagation record trace seed =
+  let run n density variant memory propagation record check_online json strict trace seed =
     let m = Sparse.generate ~seed ~n ~density in
     let lref = Sparse.factor_reference m in
-    let res, time, msgs, history =
-      run_on ~memory ~procs:4 ~propagation ~record (fun spawn ->
+    let res, time, msgs, history, checker =
+      run_on ~memory ~procs:4 ~propagation ~record ~check_online (fun spawn ->
           Cholesky.launch ~spawn ~procs:4 ~variant m)
     in
     let r = Option.get !res in
-    Printf.printf "%s: n=%d nnz(L)=%d\n"
+    let json = json && (record || check_online) in
+    info ~json "%s: n=%d nnz(L)=%d\n"
       (Cholesky.variant_to_string variant)
       n (Sparse.nnz m);
-    Printf.printf "sim time=%.1fus messages=%d exact=%b max_error=%d\n" time msgs
+    info ~json "sim time=%.1fus messages=%d exact=%b max_error=%d\n" time msgs
       (r.Cholesky.l = lref) r.Cholesky.max_error;
-    check_history ~trace history
+    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Matrix dimension.") in
   let density_arg =
@@ -240,7 +387,7 @@ let cholesky_cmd =
     (Cmd.info "cholesky" ~doc:"Sparse Cholesky factorization (Sec. 5.3, Fig. 5)")
     Term.(
       const run $ n_arg $ density_arg $ variant_arg $ memory_arg $ propagation_arg
-      $ record_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -279,24 +426,24 @@ let lint_cmd =
   let app_histories app memory propagation seed =
     let solver () =
       let problem = Solver.Problem.generate ~seed ~n:8 in
-      let _, _, _, h =
-        run_on ~memory ~procs:3 ~propagation ~record:true (fun spawn ->
+      let _, _, _, h, _ =
+        run_on ~memory ~procs:3 ~propagation ~record:true ~check_online:false (fun spawn ->
             Solver.launch ~spawn ~procs:3 ~variant:Solver.Barrier_pram problem)
       in
       ("solver", Option.get h)
     in
     let em () =
       let params = { Em.rows = 8; cols = 4; steps = 2; seed } in
-      let _, _, _, h =
-        run_on ~memory ~procs:2 ~propagation ~record:true (fun spawn ->
+      let _, _, _, h, _ =
+        run_on ~memory ~procs:2 ~propagation ~record:true ~check_online:false (fun spawn ->
             Em.launch ~spawn ~procs:2 params)
       in
       ("em", Option.get h)
     in
     let cholesky () =
       let m = Sparse.generate ~seed ~n:8 ~density:0.2 in
-      let _, _, _, h =
-        run_on ~memory ~procs:4 ~propagation ~record:true (fun spawn ->
+      let _, _, _, h, _ =
+        run_on ~memory ~procs:4 ~propagation ~record:true ~check_online:false (fun spawn ->
             Cholesky.launch ~spawn ~procs:4 ~variant:Cholesky.Lock_based m)
       in
       ("cholesky", Option.get h)

@@ -192,7 +192,7 @@ let create engine ?latency ?(record = false) ?(op_cost = 0.1) ?(send_cost = 2.0)
           bar_episode = 0;
           awaiters = [];
         };
-      recorder = (if record then Some (Recorder.create ~procs) else None);
+      recorder = (if record then Some (Recorder.create ~procs ()) else None);
       replies = Array.make procs None;
       tag_counter = 0;
       waits = Hashtbl.create 8;

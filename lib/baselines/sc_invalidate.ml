@@ -347,7 +347,7 @@ let create engine ?latency ?(record = false) ?(op_cost = 0.1) ?(poll_interval = 
       bar_count = 0;
       bar_episode = 0;
       replies = Array.make procs None;
-      recorder = (if record then Some (Recorder.create ~procs) else None);
+      recorder = (if record then Some (Recorder.create ~procs ()) else None);
       tag_counter = 0;
       waits = Hashtbl.create 8;
       hits = 0;

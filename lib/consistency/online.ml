@@ -1,0 +1,461 @@
+(* Streaming mixed-consistency checker.
+
+   Consumes the finalization stream of [Mc_history.Stream] and validates
+   every memory read at response time against the read rule of its label
+   (Def. 2 causal, Def. 3 PRAM, §3.2 group, composed per Def. 4),
+   reproducing [Mixed.failures] verdict-for-verdict without materializing
+   the history or any relation matrix.
+
+   Per finalized operation the checker folds one chain clock per family —
+   causal, PRAM(i) for every process i, and one per registered reader
+   group — joining the clocks of its covering in-edge sources, with sync
+   and reads-from edges filtered by the family's touches predicate (a
+   per-family cost of O(chains) ints, O(procs · chains) overall).
+
+   A read's verdict needs three kinds of relation queries, all answered
+   in O(1) from clocks: [rel w r] (candidate writer in the read's past),
+   [rel o r] (interposer in the read's past) and [rel w o] (interposer
+   after the writer). The first two use the read's own clocks; the last
+   is precomputed when [o] finalizes, as a per-family bitmask attached to
+   the writer's summary, because either operation may be retired by the
+   time the read arrives.
+
+   State is reclaimed through runtime stability notifications: when a
+   value is dead (superseded at every replica, so no future operation can
+   read it) its writer summaries and their interposer lists are dropped;
+   when the initial value of a location is dead the location's
+   virtual-initial-write interposer list is dropped too. *)
+
+module Stream = Mc_history.Stream
+module History = Mc_history.History
+module Op = Mc_history.Op
+
+(* An operation that touched a location: potential interposer. Kept in
+   ascending id order so the first match reproduces the offline scan. *)
+type toucher = {
+  f_id : int;
+  f_chain : int;
+  f_rank : int;
+  f_proc : int;
+  f_read : bool; (* memory read: excluded for foreign readers *)
+  f_vals : Op.value list; (* values it wrote/observed there *)
+  f_mask : int; (* per-family [rel w o] bits, 0 for the virtual write *)
+}
+
+(* Retained essence of a finalized writer. *)
+type summary = {
+  s_id : int;
+  s_proc : int;
+  s_chain : int;
+  s_rank : int;
+  s_clk : int array array; (* inclusive clocks, per family *)
+  mutable s_followers : toucher list; (* ascending id *)
+}
+
+type lstate = {
+  mutable li_dead : bool; (* initial value is dead *)
+  mutable li_touchers : toucher list; (* ascending id *)
+  mutable li_values : Op.value list; (* values with live summaries *)
+}
+
+type resident = { r_proc : int; r_clk : int array array }
+
+type stats = {
+  ops_checked : int;
+  reads_checked : int;
+  pram_reads : int;
+  causal_reads : int;
+  group_reads : int;
+  failure_count : int;
+  chains : int;
+  max_resident : int;
+  live_summaries : int;
+}
+
+type t = {
+  t_procs : int;
+  t_fams : int;
+  group_idx : (int list, int) Hashtbl.t;
+  group_mem : bool array array;
+  clocks : (int, resident) Hashtbl.t;
+  sums : (Op.location * Op.value, summary list ref) Hashtbl.t;
+  locs : (Op.location, lstate) Hashtbl.t;
+  mutable failures : Mixed.failure list; (* reverse finalization order *)
+  mutable ops_checked : int;
+  mutable reads_checked : int;
+  mutable pram_reads : int;
+  mutable causal_reads : int;
+  mutable group_reads : int;
+  mutable ch : int; (* chain count high-water *)
+  mutable t_engine : Stream.t option;
+}
+
+let clk_get a c = if c < Array.length a then a.(c) else 0
+
+(* Family layout: 0 = causal, 1+i = PRAM(i), 1+procs+k = k-th group. *)
+
+let fam_causal = 0
+
+let lstate t loc =
+  match Hashtbl.find_opt t.locs loc with
+  | Some ls -> ls
+  | None ->
+    let ls = { li_dead = false; li_touchers = []; li_values = [] } in
+    Hashtbl.add t.locs loc ls;
+    ls
+
+let all_procs t = List.init t.t_procs Fun.id
+
+let fam_of_label t ~reader = function
+  | Op.PRAM -> 1 + reader
+  | Op.Causal -> fam_causal
+  | Op.Group g ->
+    if not (List.mem reader g) then
+      invalid_arg "Online: reader must be a group member";
+    List.iter
+      (fun m ->
+        if m < 0 || m >= t.t_procs then
+          invalid_arg "Online: group member out of range")
+      g;
+    let sg = List.sort_uniq compare g in
+    if sg = all_procs t then fam_causal
+    else (
+      match sg with
+      | [ i ] -> 1 + i (* i = reader, by the membership check *)
+      | _ -> (
+        match Hashtbl.find_opt t.group_idx sg with
+        | Some f -> f
+        | None ->
+          invalid_arg
+            "Online: unregistered reader group (pass it via ~groups)"))
+
+let make ~procs ?(groups = []) () =
+  if procs <= 0 then invalid_arg "Online.make: need at least one process";
+  let canonical =
+    List.sort_uniq compare (List.map (List.sort_uniq compare) groups)
+  in
+  let all = List.init procs Fun.id in
+  let real =
+    List.filter
+      (fun g ->
+        List.iter
+          (fun m ->
+            if m < 0 || m >= procs then
+              invalid_arg "Online.make: group member out of range")
+          g;
+        match g with [] -> invalid_arg "Online.make: empty group" | [ _ ] -> false | _ -> g <> all)
+      canonical
+  in
+  let n_fams = 1 + procs + List.length real in
+  if n_fams > 62 then
+    invalid_arg "Online.make: too many consistency families (max 62)";
+  let group_idx = Hashtbl.create 8 in
+  let group_mem =
+    Array.of_list
+      (List.mapi
+         (fun k g ->
+           Hashtbl.add group_idx g (1 + procs + k);
+           let a = Array.make procs false in
+           List.iter (fun m -> a.(m) <- true) g;
+           a)
+         real)
+  in
+  {
+    t_procs = procs;
+    t_fams = n_fams;
+    group_idx;
+    group_mem;
+    clocks = Hashtbl.create 256;
+    sums = Hashtbl.create 64;
+    locs = Hashtbl.create 16;
+    failures = [];
+    ops_checked = 0;
+    reads_checked = 0;
+    pram_reads = 0;
+    causal_reads = 0;
+    group_reads = 0;
+    ch = 0;
+    t_engine = None;
+  }
+
+(* Does family [f] include a sync / reads-from edge with these endpoint
+   processes? Program-order edges are always included. *)
+let edge_in_fam t f ~sp ~np =
+  if f = fam_causal then true
+  else if f <= t.t_procs then
+    let i = f - 1 in
+    sp = i || np = i
+  else
+    let g = t.group_mem.(f - 1 - t.t_procs) in
+    g.(sp) || g.(np)
+
+let join_into dst src =
+  let n = min (Array.length dst) (Array.length src) in
+  for c = 0 to n - 1 do
+    if src.(c) > dst.(c) then dst.(c) <- src.(c)
+  done
+
+let resident t id =
+  match Hashtbl.find_opt t.clocks id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Online: source op %d not resident" id)
+
+let rf_summary t ~loc ~value id =
+  match Hashtbl.find_opt t.sums (loc, value) with
+  | Some l -> (
+    match List.find_opt (fun s -> s.s_id = id) !l with
+    | Some s -> s
+    | None ->
+      invalid_arg (Printf.sprintf "Online: no summary for writer %d" id))
+  | None -> invalid_arg (Printf.sprintf "Online: no summaries for writer %d" id)
+
+let values_at (o : Op.t) loc =
+  let add acc = function
+    | Some (l, v) when l = loc -> v :: acc
+    | Some _ | None -> acc
+  in
+  add (add [] (Op.writes_value o)) (Op.reads_value o)
+
+let rec insert_toucher fo = function
+  | [] -> [ fo ]
+  | x :: rest as l ->
+    if fo.f_id < x.f_id then fo :: l else x :: insert_toucher fo rest
+
+let rec insert_summary s = function
+  | [] -> [ s ]
+  | x :: rest as l ->
+    if s.s_id < x.s_id then s :: l else x :: insert_summary s rest
+
+(* --- the read rule, replicating Read_rule.check query-for-query ----- *)
+
+let verdict t (op : Op.t) strict ~loc ~value ~fam =
+  let sr = strict.(fam) in
+  let rel_to_r chain rank = clk_get sr chain > rank in
+  let keep fo = not (fo.f_read && fo.f_proc <> op.proc) in
+  let bad fo = List.exists (fun u -> u <> value) fo.f_vals in
+  let eligible fo =
+    fo.f_id <> op.id && rel_to_r fo.f_chain fo.f_rank && keep fo && bad fo
+  in
+  let interposed w =
+    List.find_opt
+      (fun fo -> fo.f_mask land (1 lsl fam) <> 0 && eligible fo)
+      w.s_followers
+  in
+  let cands =
+    match Hashtbl.find_opt t.sums (loc, value) with
+    | Some l -> List.filter (fun w -> rel_to_r w.s_chain w.s_rank) !l
+    | None -> []
+  in
+  let rec first_valid = function
+    | [] -> None
+    | w :: rest ->
+      if interposed w = None then Some w else first_valid rest
+  in
+  match first_valid cands with
+  | Some _ -> Read_rule.Valid
+  | None -> (
+    if value = 0 then
+      (* virtual initial write: every toucher of the location counts *)
+      let touchers =
+        match Hashtbl.find_opt t.locs loc with
+        | Some ls -> ls.li_touchers
+        | None -> []
+      in
+      match List.find_opt eligible touchers with
+      | None -> Read_rule.Valid
+      | Some fo -> Read_rule.Overwritten fo.f_id
+    else
+      match cands with
+      | [] -> Read_rule.No_matching_write
+      | w :: _ -> (
+        match interposed w with
+        | Some fo -> Read_rule.Overwritten fo.f_id
+        | None -> assert false))
+
+(* --- finalization ---------------------------------------------------- *)
+
+let finalize t (info : Stream.info) =
+  let op = info.Stream.op in
+  t.ops_checked <- t.ops_checked + 1;
+  if info.Stream.chain + 1 > t.ch then t.ch <- info.Stream.chain + 1;
+  let strict = Array.init t.t_fams (fun _ -> Array.make t.ch 0) in
+  let join_filtered clk ~sp =
+    for f = 0 to t.t_fams - 1 do
+      if edge_in_fam t f ~sp ~np:op.proc then join_into strict.(f) clk.(f)
+    done
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Stream.U s ->
+        let r = resident t s in
+        Array.iteri (fun f d -> join_into d r.r_clk.(f)) strict
+      | Stream.S s ->
+        let r = resident t s in
+        join_filtered r.r_clk ~sp:r.r_proc
+      | Stream.RF s -> (
+        match Op.reads_value op with
+        | Some (loc, value) ->
+          let sm = rf_summary t ~loc ~value s in
+          join_filtered sm.s_clk ~sp:sm.s_proc
+        | None -> ()))
+    info.Stream.in_edges;
+  (* read validation, before this op registers as its own interposer *)
+  (match op.kind with
+  | Op.Read { loc; label; value } ->
+    t.reads_checked <- t.reads_checked + 1;
+    (match label with
+    | Op.PRAM -> t.pram_reads <- t.pram_reads + 1
+    | Op.Causal -> t.causal_reads <- t.causal_reads + 1
+    | Op.Group _ -> t.group_reads <- t.group_reads + 1);
+    let fam = fam_of_label t ~reader:op.proc label in
+    (match verdict t op strict ~loc ~value ~fam with
+    | Read_rule.Valid -> ()
+    | v ->
+      t.failures <-
+        { Mixed.read_id = op.id; label; verdict = v } :: t.failures)
+  | _ -> ());
+  (* interposer registration *)
+  (match
+     match (Op.writes_value op, Op.reads_value op) with
+     | Some (l, _), _ | None, Some (l, _) -> Some l
+     | None, None -> None
+   with
+  | Some loc ->
+    let vals = values_at op loc in
+    if vals <> [] then begin
+      let base mask =
+        {
+          f_id = op.id;
+          f_chain = info.Stream.chain;
+          f_rank = info.Stream.rank;
+          f_proc = op.proc;
+          f_read = Op.is_memory_read op;
+          f_vals = vals;
+          f_mask = mask;
+        }
+      in
+      let ls = lstate t loc in
+      if not ls.li_dead then
+        ls.li_touchers <- insert_toucher (base 0) ls.li_touchers;
+      List.iter
+        (fun v' ->
+          match Hashtbl.find_opt t.sums (loc, v') with
+          | Some l ->
+            List.iter
+              (fun w ->
+                if w.s_id <> op.id then begin
+                  let mask = ref 0 in
+                  for f = 0 to t.t_fams - 1 do
+                    if clk_get strict.(f) w.s_chain > w.s_rank then
+                      mask := !mask lor (1 lsl f)
+                  done;
+                  if !mask <> 0 then
+                    w.s_followers <- insert_toucher (base !mask) w.s_followers
+                end)
+              !l
+          | None -> ())
+        ls.li_values
+    end
+  | None -> ());
+  (* bump own chain: [strict] becomes the inclusive clock set *)
+  Array.iter
+    (fun a ->
+      let r = info.Stream.rank + 1 in
+      if r > a.(info.Stream.chain) then a.(info.Stream.chain) <- r)
+    strict;
+  (* writer summary *)
+  (match Op.writes_value op with
+  | Some (loc, v) ->
+    let s =
+      {
+        s_id = op.id;
+        s_proc = op.proc;
+        s_chain = info.Stream.chain;
+        s_rank = info.Stream.rank;
+        s_clk = strict;
+        s_followers = [];
+      }
+    in
+    (match Hashtbl.find_opt t.sums (loc, v) with
+    | Some l -> l := insert_summary s !l
+    | None -> Hashtbl.add t.sums (loc, v) (ref [ s ]));
+    let ls = lstate t loc in
+    if not (List.mem v ls.li_values) then ls.li_values <- v :: ls.li_values
+  | None -> ());
+  Hashtbl.replace t.clocks op.id { r_proc = op.proc; r_clk = strict }
+
+let retire t id = Hashtbl.remove t.clocks id
+
+let dead t loc value =
+  Hashtbl.remove t.sums (loc, value);
+  match Hashtbl.find_opt t.locs loc with
+  | Some ls ->
+    ls.li_values <- List.filter (fun v -> v <> value) ls.li_values;
+    if value = 0 then begin
+      ls.li_dead <- true;
+      ls.li_touchers <- []
+    end
+  | None -> if value = 0 then (lstate t loc).li_dead <- true
+
+let callbacks t =
+  {
+    Stream.on_finalize = (fun info -> finalize t info);
+    on_retire = (fun id -> retire t id);
+    on_dead_value = (fun ~loc ~value -> dead t loc value);
+    on_end = (fun () -> ());
+  }
+
+(* --- public API ------------------------------------------------------ *)
+
+let create ~procs ?groups () =
+  let t = make ~procs ?groups () in
+  let e = Stream.create ~procs (callbacks t) in
+  t.t_engine <- Some e;
+  t
+
+let engine t =
+  match t.t_engine with
+  | Some e -> e
+  | None -> invalid_arg "Online.engine: checker has no engine"
+
+let sink t = Stream.sink (engine t)
+let failures t = List.sort (fun a b -> compare a.Mixed.read_id b.Mixed.read_id) t.failures
+let is_consistent t = t.failures = []
+
+let stats t =
+  let live =
+    Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.sums 0
+  in
+  let e = t.t_engine in
+  {
+    ops_checked = t.ops_checked;
+    reads_checked = t.reads_checked;
+    pram_reads = t.pram_reads;
+    causal_reads = t.causal_reads;
+    group_reads = t.group_reads;
+    failure_count = List.length t.failures;
+    chains = t.ch;
+    max_resident = (match e with Some e -> Stream.max_resident e | None -> 0);
+    live_summaries = live;
+  }
+
+let groups_of_history h =
+  let acc = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      match o.kind with
+      | Op.Read { label = Op.Group g; _ } ->
+        let sg = List.sort_uniq compare g in
+        if not (List.mem sg !acc) then acc := sg :: !acc
+      | _ -> ())
+    (History.ops h);
+  !acc
+
+let check ?groups h =
+  let groups =
+    match groups with Some g -> g | None -> groups_of_history h
+  in
+  let t = create ~procs:(History.procs h) ~groups () in
+  Stream.replay (engine t) h;
+  t

@@ -1,0 +1,62 @@
+(** Streaming mixed-consistency checker.
+
+    Validates every memory read at response time against the read rule
+    of its label (Def. 2 causal, Def. 3 PRAM, §3.2 group reads, composed
+    per Def. 4 mixed consistency) by folding per-family chain clocks
+    over the finalization stream of {!Mc_history.Stream}. Produces the
+    same failures, verdict-for-verdict, as the offline {!Mixed.check} —
+    see the differential test suite — while keeping only the in-flight
+    operation window plus live writer summaries in memory.
+
+    Per finalized operation the cost is O(families × chains) integer
+    work, with families = 1 (causal) + procs (PRAM) + registered reader
+    groups, i.e. O(procs · chains) per read as required.
+
+    Reader groups must be registered up front (via [~groups] or
+    {!groups_of_history}); a group equal to all processes aliases to
+    causal and a singleton group to the reader's PRAM family, so only
+    the remaining proper groups consume a family slot (max 62 families
+    in total). *)
+
+type t
+
+type stats = {
+  ops_checked : int;
+  reads_checked : int;
+  pram_reads : int;
+  causal_reads : int;
+  group_reads : int;
+  failure_count : int;
+  chains : int;  (** concurrency chains allocated by the engine *)
+  max_resident : int;  (** high-water of the engine's in-flight window *)
+  live_summaries : int;  (** writer summaries not yet reclaimed *)
+}
+
+(** [create ~procs ?groups ()] makes a checker with its own
+    {!Mc_history.Stream} engine. [groups] lists the reader groups that
+    [Group]-labeled reads may use (order and duplicates irrelevant).
+    Raises [Invalid_argument] for out-of-range members, empty groups or
+    more than 62 consistency families. *)
+val create : procs:int -> ?groups:int list list -> unit -> t
+
+(** [sink t] adapts the checker for [Recorder.subscribe]: operations are
+    validated online as their causal covering past completes. *)
+val sink : t -> Mc_history.Sink.t
+
+(** The checker's underlying engine (for window statistics). *)
+val engine : t -> Mc_history.Stream.t
+
+(** [check ?groups h] replays a materialized history through a fresh
+    checker. When [groups] is omitted the groups are harvested from the
+    history's read labels. *)
+val check : ?groups:int list list -> Mc_history.History.t -> t
+
+(** Invalid reads seen so far, in ascending id order — equal to
+    [Mixed.failures (Mixed.check h)] after a full replay. *)
+val failures : t -> Mixed.failure list
+
+val is_consistent : t -> bool
+val stats : t -> stats
+
+(** Distinct (sorted) groups appearing in [Group] read labels of [h]. *)
+val groups_of_history : Mc_history.History.t -> int list list

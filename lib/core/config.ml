@@ -5,6 +5,7 @@ type t = {
   procs : int;
   propagation : propagation;
   record : bool;
+  check_online : bool;
   await_label : Mc_history.Op.label;
   op_cost : float;
   update_bytes : int;
@@ -24,6 +25,7 @@ let default ~procs =
     procs;
     propagation = Lazy;
     record = false;
+    check_online = false;
     await_label = Mc_history.Op.Causal;
     op_cost = 0.1;
     update_bytes = 64;

@@ -37,6 +37,14 @@ type t = {
   record : bool;
       (** record every operation into a {!Mc_history.Recorder} for
           offline consistency checking *)
+  check_online : bool;
+      (** validate every read at response time with the streaming
+          checker ([Mc_consistency.Online]) subscribed to the recorder;
+          the runtime forwards stability notifications (values
+          superseded at every replica) so checker memory is bounded by
+          the in-flight window. Independent of [record]: with [record]
+          false the recorder runs in streaming-only mode and
+          [Runtime.history] is unavailable. *)
   await_label : Mc_history.Op.label;
       (** which view an await polls: [Causal] (default; satisfies the
           await only once the witnessed write is causally applied) or

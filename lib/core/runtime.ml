@@ -69,6 +69,12 @@ type t = {
   lock_managers : Lock_manager.t array;
   barrier_manager : Barrier_manager.t;
   recorder : Recorder.t option;
+  checker : Mc_consistency.Online.t option;
+  (* stability collector state: per location, the recorded values whose
+     death has not been established yet, as (value, writer, useq);
+     writer -1 marks the location's virtual initial value 0 *)
+  live_values : (Op.location, (int * int * int) list ref) Hashtbl.t;
+  counter_locs : (Op.location, unit) Hashtbl.t;
   mutable tag_counter : int;
   waits : (string, Summary.t) Hashtbl.t;
   ops : Counters.t;
@@ -233,7 +239,17 @@ let create engine ?latency cfg =
                  ~send:(send_from home));
          barrier_manager = Barrier_manager.create ~n ~send:(send_from 0);
          recorder =
-           (if cfg.Config.record then Some (Recorder.create ~procs:n) else None);
+           (if cfg.Config.record || cfg.Config.check_online then
+              Some (Recorder.create ~materialize:cfg.Config.record ~procs:n ())
+            else None);
+         checker =
+           (if cfg.Config.check_online then
+              Some
+                (Mc_consistency.Online.create ~procs:n ~groups:cfg.Config.groups
+                   ())
+            else None);
+         live_values = Hashtbl.create 32;
+         counter_locs = Hashtbl.create 8;
          tag_counter = 0;
          waits;
          ops;
@@ -241,12 +257,98 @@ let create engine ?latency cfg =
        })
   in
   let t = Lazy.force t in
+  (match (t.recorder, t.checker) with
+  | Some r, Some c -> Recorder.subscribe r (Mc_consistency.Online.sink c)
+  | _ -> ());
   for node_id = 0 to n - 1 do
     Network.set_handler net node_id (fun ~src msg -> handle_message t node_id ~src msg)
   done;
   t
 
-let run t = Engine.run t.engine
+(* ------------------------------------------------------------------ *)
+(* Stability collector                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let recorded_value ~numeric ~tag = if tag <> 0 then tag else numeric
+
+(* A recorded value is dead — no future operation can read it — once
+   (a) its update is applied at every replica (the causal applied
+   vectors dominate it, which implies the PRAM and group views have
+   applied it too), and (b) no view of its location at any replica
+   currently returns it. Views only move forward over each location's
+   unique tags, so both conditions are stable. Counter locations are
+   exempt: decrements may rewrite an earlier numeric value. Entry-mode
+   guarded writes travel with lock grants instead of the applied
+   streams, so they are registered without a sequence number and simply
+   never declared dead (conservative). *)
+
+let register_live t loc ~value ~writer ~useq =
+  if not (Hashtbl.mem t.counter_locs loc) then begin
+    match Hashtbl.find_opt t.live_values loc with
+    | Some l -> l := (value, writer, useq) :: !l
+    | None ->
+      (* first write: the virtual initial value 0 becomes collectable *)
+      Hashtbl.add t.live_values loc (ref [ (value, writer, useq); (0, -1, 0) ])
+  end
+
+let mark_counter_loc t loc =
+  Hashtbl.replace t.counter_locs loc ();
+  Hashtbl.remove t.live_values loc
+
+let value_visible t loc v =
+  let groups = t.cfg.Config.groups in
+  let visible_at node =
+    let check (numeric, tag) = recorded_value ~numeric ~tag = v in
+    check (Replica.pram_read node.replica loc)
+    || check (Replica.causal_read node.replica loc)
+    || List.exists
+         (fun group -> check (Replica.group_read node.replica ~group loc))
+         groups
+  in
+  Array.exists visible_at t.nodes
+
+let stability_sweep t =
+  match t.recorder with
+  | Some r
+    when t.checker <> None
+         && t.cfg.Config.multicast = None
+         && Hashtbl.length t.live_values > 0 ->
+    let n = t.cfg.Config.procs in
+    let min_applied = Array.make n max_int in
+    Array.iter
+      (fun node ->
+        let a = Replica.applied node.replica in
+        Array.iteri
+          (fun j c -> if c < min_applied.(j) then min_applied.(j) <- c)
+          a)
+      t.nodes;
+    Hashtbl.iter
+      (fun loc l ->
+        l :=
+          List.filter
+            (fun (v, writer, useq) ->
+              let applied_everywhere =
+                writer < 0 || min_applied.(writer) >= useq
+              in
+              if applied_everywhere && not (value_visible t loc v) then begin
+                Recorder.notify_dead r ~loc ~value:v;
+                false
+              end
+              else true)
+            !l)
+      t.live_values
+  | _ -> ()
+
+let run t =
+  let tend = Engine.run t.engine in
+  (match (t.recorder, t.checker) with
+  | Some r, Some _ ->
+    stability_sweep t;
+    Recorder.close r
+  | _ -> ());
+  tend
+
+let online_checker t = t.checker
 
 let spawn_process t i f =
   Engine.spawn t.engine ~name:(Printf.sprintf "proc-%d" i) (fun () ->
@@ -287,8 +389,6 @@ let fresh_tag p =
 (* ------------------------------------------------------------------ *)
 (* Memory operations                                                   *)
 (* ------------------------------------------------------------------ *)
-
-let recorded_value ~numeric ~tag = if tag <> 0 then tag else numeric
 
 let read p ?(label = Op.Causal) loc =
   incr p.rt.hot.c_read;
@@ -422,6 +522,8 @@ let write p loc v =
   else begin
     let u = Replica.local_write node.replica ~loc ~numeric:v ~tag in
     track_write_set p loc ~numeric:v ~tag;
+    if p.rt.checker <> None then
+      register_live p.rt loc ~value:tag ~writer:p.id ~useq:u.Protocol.useq;
     broadcast_update p u
   end
 
@@ -429,6 +531,7 @@ let init_counter p loc v =
   incr p.rt.hot.c_init_counter;
   charge p;
   let node = p.rt.nodes.(p.id) in
+  mark_counter_loc p.rt loc;
   ignore (record p (Op.Write { loc; value = v }));
   (* tag 0 marks the location as numerically recorded *)
   if in_entry_section p then begin
@@ -445,6 +548,7 @@ let decrement p loc ~amount =
   incr p.rt.hot.c_decrement;
   charge p;
   let node = p.rt.nodes.(p.id) in
+  mark_counter_loc p.rt loc;
   if in_entry_section p then begin
     let observed, _ = Replica.causal_read node.replica loc in
     ignore (record p (Op.Decrement { loc; amount; observed }));
@@ -577,7 +681,8 @@ let release p lock ~write =
             Queue.push resume q)
       in
       record_finish p token ~sync_seq:seq
-        (if write then Op.Write_unlock lock else Op.Read_unlock lock))
+        (if write then Op.Write_unlock lock else Op.Read_unlock lock));
+  stability_sweep p.rt
 
 let write_lock p lock = acquire p lock ~write:true
 let write_unlock p lock = release p lock ~write:true
@@ -619,7 +724,8 @@ let barrier_generic p ~members ~episode ~kind =
             end
           | None -> false);
       Hashtbl.remove node.released (members, episode);
-      record_finish p token kind)
+      record_finish p token kind);
+  stability_sweep p.rt
 
 let barrier p =
   incr p.rt.hot.c_barrier;

@@ -55,8 +55,17 @@ val spawn_process : t -> int -> (proc -> unit) -> unit
 val spawn_thread : t -> int -> (proc -> unit) -> unit
 
 (** [run t] runs the simulation to completion and returns the final
-    virtual time. *)
+    virtual time. When [config.check_online] is set the recorder is
+    closed at the end of the run (flushing the streaming checker), so
+    no further operations may be recorded afterwards. *)
 val run : t -> float
+
+(** The streaming consistency checker subscribed to the recorder when
+    [config.check_online] is set: every read is validated at response
+    time, and the runtime's stability sweeps (at barrier and unlock
+    completions, from the replicas' applied vectors) let the checker
+    reclaim state for values that are superseded everywhere. *)
+val online_checker : t -> Mc_consistency.Online.t option
 
 (** {1 Memory operations} *)
 

@@ -18,7 +18,7 @@ let await loc value = mk (Op.Await { loc; value })
 let make ~procs per_proc =
   if List.length per_proc <> procs then
     invalid_arg "Dsl.make: per-process list length mismatch";
-  let recorder = Recorder.create ~procs in
+  let recorder = Recorder.create ~procs () in
   List.iteri
     (fun proc specs ->
       List.iter

@@ -306,13 +306,215 @@ let await_order t =
 let sync_order t =
   Relation.union (lock_order t) (Relation.union (barrier_order t) (await_order t))
 
-let compute_sync_reduced t =
-  let reduce r =
-    if Relation.is_acyclic r then Relation.transitive_reduction r else r
+(* Structural covering of the lock order: the intra-epoch edges plus the
+   surface edges between adjacent epochs (from the operations of an epoch
+   with no intra-epoch successor to the operations of the next epoch with
+   no intra-epoch predecessor). For lock orders this equals the canonical
+   transitive reduction; unlike a generic matrix reduction it can also be
+   produced edge-for-edge by the streaming checker, which keeps the
+   offline and online PRAM relations identical. *)
+let compute_lock_covering t =
+  let n = length t in
+  let r = Relation.create n in
+  let by_lock = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match Op.lock_of o with
+      | Some l ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_lock l) in
+        Hashtbl.replace by_lock l (o :: prev)
+      | None -> ())
+    t.ops;
+  Hashtbl.iter
+    (fun _lock ops_of_l ->
+      let sorted =
+        List.sort
+          (fun (a : Op.t) (b : Op.t) -> compare a.sync_seq b.sync_seq)
+          ops_of_l
+      in
+      let epochs = Array.of_list (epochs_of_lock sorted) in
+      (* intra-epoch edges, remembering which side of a pair each op is on *)
+      let has_succ = Hashtbl.create 8 and has_pred = Hashtbl.create 8 in
+      Array.iter
+        (function
+          | Write_epoch [ a; b ] ->
+            Relation.add r a b;
+            Hashtbl.replace has_succ a ();
+            Hashtbl.replace has_pred b ()
+          | Write_epoch _ -> ()
+          | Read_epoch ops ->
+            let open_locks = Hashtbl.create 4 in
+            List.iter
+              (fun id ->
+                let o = t.ops.(id) in
+                match o.kind with
+                | Op.Read_lock _ -> Hashtbl.replace open_locks o.proc id
+                | Op.Read_unlock _ -> (
+                  match Hashtbl.find_opt open_locks o.proc with
+                  | Some lid ->
+                    Relation.add r lid id;
+                    Hashtbl.replace has_succ lid ();
+                    Hashtbl.replace has_pred id ();
+                    Hashtbl.remove open_locks o.proc
+                  | None -> ())
+                | _ -> ())
+              ops)
+        epochs;
+      (* surface edges between adjacent epochs *)
+      for e = 0 to Array.length epochs - 2 do
+        let srcs =
+          List.filter
+            (fun a -> not (Hashtbl.mem has_succ a))
+            (epoch_ops epochs.(e))
+        and dsts =
+          List.filter
+            (fun b -> not (Hashtbl.mem has_pred b))
+            (epoch_ops epochs.(e + 1))
+        in
+        List.iter (fun a -> List.iter (fun b -> Relation.add r a b) dsts) srcs
+      done)
+    by_lock;
+  r
+
+(* Structural covering of the barrier order: for every operation [o] of
+   process [j], an edge to every member of the first barrier episode(s)
+   following [o] on [j], and from every member of the last episode(s)
+   preceding [o] on [j]. Chaining through the per-process episode
+   sequence reproduces the full barrier order under transitive closure
+   while emitting O(members) edges per operation. *)
+let barrier_episode_key (o : Op.t) =
+  match o.kind with
+  | Op.Barrier k -> Some ([], k)
+  | Op.Barrier_group { episode; members } ->
+    Some (List.sort_uniq compare members, episode)
+  | _ -> None
+
+let compute_barrier_covering t =
+  let n = length t in
+  let r = Relation.create n in
+  let episodes = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Op.t) ->
+      match barrier_episode_key o with
+      | Some key ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt episodes key) in
+        Hashtbl.replace episodes key (o.id :: prev)
+      | None -> ())
+    t.ops;
+  let members bid =
+    match barrier_episode_key t.ops.(bid) with
+    | Some key -> Option.value ~default:[] (Hashtbl.find_opt episodes key)
+    | None -> []
   in
+  let by_proc = Array.make t.procs [] in
+  Array.iter (fun (o : Op.t) -> by_proc.(o.proc) <- o.id :: by_proc.(o.proc)) t.ops;
+  Array.iter
+    (fun ids ->
+      let sorted =
+        List.sort
+          (fun a b -> compare t.ops.(a).inv_seq t.ops.(b).inv_seq)
+          ids
+      in
+      (* greedy first-fit chain decomposition, as in the online engine:
+         an op joins the first chain whose last response precedes its
+         invocation *)
+      let chains = ref [] (* (last_resp ref, ops-in-order ref) per chain *) in
+      let chain_of = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          let o = t.ops.(id) in
+          match
+            List.find_opt (fun (last, _) -> !last < o.inv_seq) !chains
+          with
+          | Some ((last, ops_r) as c) ->
+            last := o.resp_seq;
+            ops_r := id :: !ops_r;
+            Hashtbl.replace chain_of id c
+          | None ->
+            let c = (ref o.resp_seq, ref [ id ]) in
+            chains := !chains @ [ c ];
+            Hashtbl.replace chain_of id c)
+        sorted;
+      let barriers =
+        List.filter (fun id -> barrier_episode_key t.ops.(id) <> None) sorted
+      in
+      (* first-following: for each barrier b, an edge from the maximal op
+         of every chain in b's window (responses strictly between the
+         previous barrier's invocation and b's invocation) to every
+         member of b's episode. Non-maximal window ops reach the episode
+         through program order within their own chain, which preserves
+         every per-process filtered closure. *)
+      List.iter
+        (fun bid ->
+          let b = t.ops.(bid) in
+          let threshold =
+            List.fold_left
+              (fun acc bid' ->
+                let b' = t.ops.(bid') in
+                if bid' <> bid && b'.resp_seq < b.inv_seq then
+                  max acc b'.inv_seq
+                else acc)
+              (-1) barriers
+          in
+          List.iter
+            (fun (_, ops_r) ->
+              let src =
+                List.fold_left
+                  (fun acc id ->
+                    let o = t.ops.(id) in
+                    if o.resp_seq > threshold && o.resp_seq < b.inv_seq then
+                      match acc with
+                      | Some best when t.ops.(best).resp_seq >= o.resp_seq -> acc
+                      | _ -> Some id
+                    else acc)
+                  None !ops_r
+              in
+              match src with
+              | Some src ->
+                List.iter
+                  (fun m -> if m <> src then Relation.add r src m)
+                  (members bid)
+              | None -> ())
+            !chains)
+        barriers;
+      (* last-preceding: the first op of each chain after an episode gets
+         edges from every member; later chain ops reach it through
+         program order *)
+      List.iter
+        (fun (_, ops_r) ->
+          let marker = ref None in
+          List.iter
+            (fun oid ->
+              let o = t.ops.(oid) in
+              let last_b =
+                List.fold_left
+                  (fun acc bid ->
+                    let b = t.ops.(bid) in
+                    if bid <> oid && b.resp_seq < o.inv_seq then
+                      match acc with
+                      | Some best when t.ops.(best).resp_seq >= b.resp_seq -> acc
+                      | _ -> Some bid
+                    else acc)
+                  None barriers
+              in
+              if last_b <> !marker then begin
+                marker := last_b;
+                match last_b with
+                | Some bid ->
+                  List.iter
+                    (fun m -> if m <> oid then Relation.add r m oid)
+                    (members bid)
+                | None -> ()
+              end)
+            (List.rev !ops_r))
+        !chains)
+    by_proc;
+  r
+
+let compute_sync_reduced t =
   Relation.union
-    (reduce (lock_order t))
-    (Relation.union (reduce (barrier_order t)) (reduce (await_order t)))
+    (compute_lock_covering t)
+    (Relation.union (compute_barrier_covering t) (await_order t))
 
 let sync_order_reduced t =
   with_memo

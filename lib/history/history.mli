@@ -77,9 +77,16 @@ val await_order : t -> Mc_util.Relation.t
     orders. *)
 val sync_order : t -> Mc_util.Relation.t
 
-(** [sync_order_reduced h] is [⤇p]: the union of the transitive
-    reductions of the three synchronization orders, as used by the PRAM
-    order (Definition 3, step 1). *)
+(** [sync_order_reduced h] is [⤇p]: the union of structural coverings of
+    the three synchronization orders, as used by the PRAM order
+    (Definition 3, step 1). Each covering has the same transitive closure
+    as the order it covers while staying sparse: for locks it is exactly
+    the canonical transitive reduction (intra-epoch edges plus the surface
+    edges between adjacent epochs); for barriers each operation connects
+    to the members of the episode(s) immediately following and preceding
+    it on its own process; the await order is already reduced. The
+    coverings are defined edge-for-edge so the streaming online checker
+    reproduces them incrementally. *)
 val sync_order_reduced : t -> Mc_util.Relation.t
 
 (** [causality h] is [⇝]: the transitive closure of

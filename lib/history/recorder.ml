@@ -1,28 +1,49 @@
 type token = { proc : int; inv_seq : int }
 
+(* The full-materialize store is itself a sink: the offline path is just
+   one subscriber among the streaming consumers. *)
+type store = { mutable ops_rev : Op.t list }
+
+let store_sink store =
+  Sink.make (fun op -> store.ops_rev <- op :: store.ops_rev)
+
 type t = {
   n_procs : int;
-  mutable ops_rev : Op.t list;
+  store : store option;
+  mutable sinks : Sink.t list; (* in subscription order *)
   mutable count : int;
+  mutable closed : bool;
   event_counters : int array;
   grant_counters : (string, int ref) Hashtbl.t;
 }
 
-let create ~procs =
+let create ?(materialize = true) ~procs () =
   if procs <= 0 then invalid_arg "Recorder.create: need at least one process";
+  let store = if materialize then Some { ops_rev = [] } else None in
   {
     n_procs = procs;
-    ops_rev = [];
+    store;
+    sinks = (match store with Some s -> [ store_sink s ] | None -> []);
     count = 0;
+    closed = false;
     event_counters = Array.make procs 0;
     grant_counters = Hashtbl.create 8;
   }
 
 let procs t = t.n_procs
 
+let subscribe t sink =
+  if t.closed then invalid_arg "Recorder.subscribe: recorder is closed";
+  t.sinks <- t.sinks @ [ sink ]
+
+let emit t f = List.iter f t.sinks
+
 let check_proc t proc =
   if proc < 0 || proc >= t.n_procs then
     invalid_arg (Printf.sprintf "Recorder: process %d out of range" proc)
+
+let check_open t =
+  if t.closed then invalid_arg "Recorder: recorder is closed"
 
 let next_event t proc =
   let c = t.event_counters.(proc) in
@@ -33,20 +54,26 @@ let add_op t ~proc ~inv_seq ~resp_seq ~sync_seq kind =
   let id = t.count in
   t.count <- id + 1;
   let op : Op.t = { id; proc; kind; inv_seq; resp_seq; sync_seq } in
-  t.ops_rev <- op :: t.ops_rev;
+  emit t (fun s -> s.Sink.on_op op);
   id
 
 let record t ~proc ?(sync_seq = -1) kind =
   check_proc t proc;
+  check_open t;
   let inv_seq = next_event t proc in
+  emit t (fun s -> s.Sink.on_inv ~proc ~seq:inv_seq);
   let resp_seq = next_event t proc in
   add_op t ~proc ~inv_seq ~resp_seq ~sync_seq kind
 
 let start t ~proc =
   check_proc t proc;
-  { proc; inv_seq = next_event t proc }
+  check_open t;
+  let inv_seq = next_event t proc in
+  emit t (fun s -> s.Sink.on_inv ~proc ~seq:inv_seq);
+  { proc; inv_seq }
 
 let finish t token ?(sync_seq = -1) kind =
+  check_open t;
   let resp_seq = next_event t token.proc in
   add_op t ~proc:token.proc ~inv_seq:token.inv_seq ~resp_seq ~sync_seq kind
 
@@ -59,8 +86,22 @@ let grant_seq t lock =
     Hashtbl.add t.grant_counters lock (ref 0);
     0
 
+let notify_dead t ~loc ~value =
+  check_open t;
+  emit t (fun s -> s.Sink.on_dead ~loc ~value)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    emit t (fun s -> s.Sink.on_close ())
+  end
+
 let op_count t = t.count
 
 let history t =
-  let arr = Array.of_list (List.rev t.ops_rev) in
-  History.create ~procs:t.n_procs arr
+  match t.store with
+  | Some store ->
+    let arr = Array.of_list (List.rev store.ops_rev) in
+    History.create ~procs:t.n_procs arr
+  | None ->
+    invalid_arg "Recorder.history: recorder was created with ~materialize:false"

@@ -1,0 +1,20 @@
+(* An event sink fed by a {!Recorder}. See sink.mli. *)
+
+type t = {
+  on_inv : proc:int -> seq:int -> unit;
+  on_op : Op.t -> unit;
+  on_dead : loc:Op.location -> value:Op.value -> unit;
+  on_close : unit -> unit;
+}
+
+let null =
+  {
+    on_inv = (fun ~proc:_ ~seq:_ -> ());
+    on_op = (fun _ -> ());
+    on_dead = (fun ~loc:_ ~value:_ -> ());
+    on_close = (fun () -> ());
+  }
+
+let make ?(on_inv = null.on_inv) ?(on_dead = null.on_dead)
+    ?(on_close = null.on_close) on_op =
+  { on_inv; on_op; on_dead; on_close }

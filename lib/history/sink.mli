@@ -1,0 +1,39 @@
+(** Streaming consumers of recorded operation events.
+
+    A {!Recorder} is an event source: every invocation and every
+    completed operation is pushed to the subscribed sinks in real-time
+    order, so consumers (the full-materialize store, the online
+    consistency checker, the online happens-before index) can process a
+    run incrementally instead of materializing the whole history first.
+
+    Event order guarantees, per recorder:
+    - [on_inv] fires when an operation invokes ([Recorder.record] and
+      [Recorder.start]), before the matching [on_op]; [seq] is the
+      process-local invocation event number, which together with [proc]
+      identifies the later completed operation ([Op.t.inv_seq]).
+    - [on_op] fires when an operation completes, in completion order —
+      which is also op-id order.
+    - [on_dead loc value] is a stability notification forwarded from the
+      runtime: no operation recorded after this event will ever read
+      [value] at [loc] again (the value has been superseded at every
+      replica), so per-value checker state may be reclaimed.
+    - [on_close] fires exactly once, when the run ends. *)
+
+type t = {
+  on_inv : proc:int -> seq:int -> unit;
+  on_op : Op.t -> unit;
+  on_dead : loc:Op.location -> value:Op.value -> unit;
+  on_close : unit -> unit;
+}
+
+(** A sink that ignores every event. *)
+val null : t
+
+(** [make ?on_inv ?on_dead ?on_close on_op] builds a sink, defaulting the
+    omitted callbacks to no-ops. *)
+val make :
+  ?on_inv:(proc:int -> seq:int -> unit) ->
+  ?on_dead:(loc:Op.location -> value:Op.value -> unit) ->
+  ?on_close:(unit -> unit) ->
+  (Op.t -> unit) ->
+  t

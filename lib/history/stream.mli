@@ -1,0 +1,93 @@
+(** Incremental structural engine for online consistency checking.
+
+    Fed with recorder events (via {!sink}) or an already-materialized
+    history (via {!feed_history}), the engine finalizes every operation
+    exactly once, in an order that is topological for the full causality
+    covering graph, and hands each finalized operation to the consumer
+    together with its chain position and covering in-edges:
+
+    - {!U} edges form the program-order chain covering (greedy first-fit
+      chain decomposition, identical to the offline [Hb] index);
+    - {!S} edges form the structural sync covering (lock epoch surfaces
+      and pairs, barrier first-following / last-preceding episode edges),
+      edge-for-edge identical to [History.sync_order_reduced];
+    - {!RF} edges are reads-from, resolved through a per-(location,
+      value) writer registry.
+
+    Every per-reader consistency relation of the paper is the transitive
+    closure of a subgraph of this covering, so a checker can fold
+    per-family chain clocks in a single pass over [on_finalize].
+
+    Memory is bounded by the in-flight window: once a finalized
+    operation's last internal reference is dropped it is retired
+    ([on_retire]) and the engine forgets it. Consumers that need longer-
+    lived per-operation state (e.g. writer clock summaries) must copy it
+    out during [on_finalize].
+
+    Restrictions for exact offline agreement (see DESIGN.md): unique
+    writes per location, no writes of the initial value 0, no reuse of
+    plain barrier indices, no overlapping barriers on one process. *)
+
+type edge =
+  | U of int  (** program-order covering edge from the given op id *)
+  | S of int  (** sync-order covering edge from the given op id *)
+  | RF of int  (** reads-from edge from the given writer op id *)
+
+type info = {
+  op : Op.t;
+  chain : int;  (** global chain id of the operation *)
+  rank : int;  (** position of the operation on its chain, from 0 *)
+  in_edges : edge list;  (** covering in-edges; valid during the callback *)
+}
+
+type callbacks = {
+  on_finalize : info -> unit;
+      (** called exactly once per operation, in an order topological for
+          the covering graph; [U]/[S] sources are still resident *)
+  on_retire : int -> unit;
+      (** the operation left the in-flight window; per-op state may be
+          dropped by consumers that mirror engine residence *)
+  on_dead_value : loc:Op.location -> value:Op.value -> unit;
+      (** forwarded stability notification: no op will read this value
+          again and all its past readers have finalized *)
+  on_end : unit -> unit;  (** the stream is complete *)
+}
+
+type t
+
+(** [create ~procs cb] makes an engine for processes [0..procs-1]. *)
+val create : procs:int -> callbacks -> t
+
+(** [sink t] adapts the engine to a {!Sink.t} for [Recorder.subscribe].
+    The engine finalizes operations as their causal covering past
+    completes and raises [Invalid_argument] on close if the recorded
+    causality is cyclic. *)
+val sink : t -> Sink.t
+
+(** [replay t h] replays a materialized history through the engine
+    (invocations in process order, responses gated on id order) and
+    closes it. Raises [Invalid_argument] if the history's event
+    sequencing is inconsistent or its causality cyclic. *)
+val replay : t -> History.t -> unit
+
+(** [feed_history ~callbacks h] is {!replay} on a fresh engine. *)
+val feed_history : callbacks:callbacks -> History.t -> t
+
+(** {2 Statistics} *)
+
+val procs : t -> int
+
+(** Number of concurrency chains allocated so far. *)
+val chains : t -> int
+
+(** Operations whose response has been seen. *)
+val ops_seen : t -> int
+
+(** Operations finalized so far. *)
+val finalized : t -> int
+
+(** Operations currently resident in the in-flight window. *)
+val resident : t -> int
+
+(** High-water mark of {!resident}. *)
+val max_resident : t -> int

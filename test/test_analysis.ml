@@ -44,7 +44,7 @@ let overlapping_fibers () =
   (* two in-flight operations on process 0: program order is a genuine
      partial order, so the per-process chain decomposition needs more
      chains than processes *)
-  let r = Recorder.create ~procs:2 in
+  let r = Recorder.create ~procs:2 () in
   let t1 = Recorder.start r ~proc:0 in
   let t2 = Recorder.start r ~proc:0 in
   ignore (Recorder.finish r t1 (Op.Write { loc = "x"; value = 1 }));
@@ -198,7 +198,7 @@ let test_overlapping_fibers_need_extra_chains () =
 type op_choice = { shape : int; loc : int; guess : int; causal_label : bool }
 
 let history_of_choices ~procs (choices : op_choice list list) =
-  let r = Recorder.create ~procs in
+  let r = Recorder.create ~procs () in
   let next_value = ref 0 in
   let all_values = ref [ 0 ] in
   let programs =

@@ -56,7 +56,7 @@ let test_group_endpoints () =
 
 (* build the history with explicit Group labels through a recorder *)
 let test_group_label_checked_by_mixed () =
-  let r = Mc_history.Recorder.create ~procs:3 in
+  let r = Mc_history.Recorder.create ~procs:3 () in
   let w kind p = ignore (Mc_history.Recorder.record r ~proc:p kind) in
   w (Op.Write { loc = "x"; value = 1 }) 0;
   w (Op.Read { loc = "x"; label = Op.PRAM; value = 1 }) 1;
@@ -66,7 +66,7 @@ let test_group_label_checked_by_mixed () =
   let h = Mc_history.Recorder.history r in
   check "mixed accepts the {2}-group stale read" true
     (Mixed.is_mixed_consistent h);
-  let r2 = Mc_history.Recorder.create ~procs:3 in
+  let r2 = Mc_history.Recorder.create ~procs:3 () in
   let w2 kind p = ignore (Mc_history.Recorder.record r2 ~proc:p kind) in
   w2 (Op.Write { loc = "x"; value = 1 }) 0;
   w2 (Op.Read { loc = "x"; label = Op.PRAM; value = 1 }) 1;

@@ -42,7 +42,7 @@ let test_op_classification () =
 (* ------------------------------------------------------------------ *)
 
 let test_recorder_sequencing () =
-  let r = Recorder.create ~procs:2 in
+  let r = Recorder.create ~procs:2 () in
   let id0 = Recorder.record r ~proc:0 (Op.Write { loc = "x"; value = 1 }) in
   let id1 = Recorder.record r ~proc:0 (Op.Read { loc = "x"; label = Op.Causal; value = 1 }) in
   let id2 = Recorder.record r ~proc:1 (Op.Write { loc = "y"; value = 2 }) in
@@ -56,7 +56,7 @@ let test_recorder_sequencing () =
   check "cross proc unordered" false (Relation.mem po 0 2 || Relation.mem po 2 0)
 
 let test_recorder_overlap () =
-  let r = Recorder.create ~procs:1 in
+  let r = Recorder.create ~procs:1 () in
   let t1 = Recorder.start r ~proc:0 in
   let t2 = Recorder.start r ~proc:0 in
   let _id1 = Recorder.finish r t1 (Op.Write { loc = "x"; value = 1 }) in
@@ -66,7 +66,7 @@ let test_recorder_overlap () =
   check "overlapping ops unordered" false (Relation.mem po 0 1 || Relation.mem po 1 0)
 
 let test_recorder_grant_seq () =
-  let r = Recorder.create ~procs:1 in
+  let r = Recorder.create ~procs:1 () in
   check_int "first grant" 0 (Recorder.grant_seq r "l");
   check_int "second grant" 1 (Recorder.grant_seq r "l");
   check_int "other lock independent" 0 (Recorder.grant_seq r "m")
@@ -211,7 +211,7 @@ let test_missing_grant_seq_detected () =
     (History.well_formedness_violations h <> [])
 
 let test_overlapping_same_object_ops_detected () =
-  let r = Recorder.create ~procs:1 in
+  let r = Recorder.create ~procs:1 () in
   let t1 = Recorder.start r ~proc:0 in
   let t2 = Recorder.start r ~proc:0 in
   ignore (Recorder.finish r t1 (Op.Write { loc = "x"; value = 1 }));
@@ -221,7 +221,7 @@ let test_overlapping_same_object_ops_detected () =
     (History.well_formedness_violations h <> [])
 
 let test_overlapping_barrier_detected () =
-  let r = Recorder.create ~procs:1 in
+  let r = Recorder.create ~procs:1 () in
   let t1 = Recorder.start r ~proc:0 in
   let t2 = Recorder.start r ~proc:0 in
   ignore (Recorder.finish r t1 (Op.Barrier 0));

@@ -29,7 +29,7 @@ module Commute = Mc_consistency.Commute
 type op_choice = { is_write : bool; loc : int; guess : int; causal_label : bool }
 
 let history_of_choices ~procs (choices : op_choice list list) =
-  let rec_ = Recorder.create ~procs in
+  let rec_ = Recorder.create ~procs () in
   let next_value = ref 0 in
   let all_values = ref [ 0 ] in
   (* pre-assign write values in order so read guesses can refer to them *)
