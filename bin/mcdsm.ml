@@ -125,11 +125,13 @@ let read_counts h =
   (!pram, !causal, !group)
 
 (* machine-readable check report, mirroring [lint --json]: one object
-   with the verdict, per-rule read/failure counts and, in online mode,
-   the engine's memory statistics *)
-let check_json ~history ~checker =
+   with the app result fields, the verdict, per-rule read/failure counts
+   and, in online mode, the engine's memory statistics. [extra] holds
+   already-JSON-encoded (key, value) pairs from the app subcommand. *)
+let check_json ~extra ~history ~checker =
   let parts = ref [] in
   let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  List.iter (fun (k, v) -> add "%S:%s" k v) extra;
   (match history with
   | Some h ->
     let failures = Mixed_chk.failures h in
@@ -192,11 +194,14 @@ let print_online_report c =
 (* Print the requested reports; returns false when any requested check
    found an inconsistency, so every subcommand exits with the same
    status (1) on a consistency failure. Under [strict] a recorded
-   history that is not well-formed also fails. *)
-let check_report ?(json = false) ?(trace = false) ?(strict = false) ~history
-    ~checker () =
-  if json && (history <> None || checker <> None) then
-    print_endline (check_json ~history ~checker)
+   history that is not well-formed also fails. Under [json] stdout
+   carries exactly one JSON object — the app result fields ([extra])
+   plus whichever check sections ran — with all human-readable lines on
+   stderr, so `mcdsm <app> --json` is machine-parseable with or without
+   --check. *)
+let check_report ?(json = false) ?(trace = false) ?(strict = false)
+    ?(extra = []) ~history ~checker () =
+  if json then print_endline (check_json ~extra ~history ~checker)
   else begin
     Option.iter (print_offline_report ~trace) history;
     Option.iter print_online_report checker
@@ -294,13 +299,24 @@ let solver_cmd =
           Solver.launch ~spawn ~procs ~variant problem)
     in
     let r = Option.get !res in
-    let json = json && (record || check_online) in
     info ~json "%s: n=%d workers=%d iters=%d converged=%b\n"
       (Solver.variant_to_string variant)
       n workers r.Solver.iterations r.Solver.converged;
-    info ~json "sim time=%.1fus messages=%d exact=%b\n" time msgs
-      (r.Solver.x = expected.Solver.x);
-    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
+    let exact = r.Solver.x = expected.Solver.x in
+    info ~json "sim time=%.1fus messages=%d exact=%b\n" time msgs exact;
+    let extra =
+      [
+        ("app", Printf.sprintf "%S" "solver");
+        ("variant", Printf.sprintf "%S" (Solver.variant_to_string variant));
+        ("iterations", string_of_int r.Solver.iterations);
+        ("converged", string_of_bool r.Solver.converged);
+        ("sim_time_us", Printf.sprintf "%.1f" time);
+        ("messages", string_of_int msgs);
+        ("exact", string_of_bool exact);
+      ]
+    in
+    exit_if_inconsistent
+      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"System size.") in
   let workers_arg =
@@ -329,13 +345,23 @@ let em_cmd =
           Em.launch ~spawn ~procs params)
     in
     let r = Option.get !res in
-    let json = json && (record || check_online) in
     info ~json "EM field %dx%d, %d steps on %d procs\n" params.Em.rows cols steps
       procs;
-    info ~json "sim time=%.1fus messages=%d exact=%b energy=%d\n" time msgs
-      (r.Em.checksum = expected.Em.checksum)
+    let exact = r.Em.checksum = expected.Em.checksum in
+    info ~json "sim time=%.1fus messages=%d exact=%b energy=%d\n" time msgs exact
       r.Em.energy;
-    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
+    let extra =
+      [
+        ("app", Printf.sprintf "%S" "em");
+        ("steps", string_of_int steps);
+        ("energy", string_of_int r.Em.energy);
+        ("sim_time_us", Printf.sprintf "%.1f" time);
+        ("messages", string_of_int msgs);
+        ("exact", string_of_bool exact);
+      ]
+    in
+    exit_if_inconsistent
+      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
   in
   let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Update rounds.") in
   let cols_arg = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid width.") in
@@ -365,13 +391,24 @@ let cholesky_cmd =
           Cholesky.launch ~spawn ~procs:4 ~variant m)
     in
     let r = Option.get !res in
-    let json = json && (record || check_online) in
     info ~json "%s: n=%d nnz(L)=%d\n"
       (Cholesky.variant_to_string variant)
       n (Sparse.nnz m);
+    let exact = r.Cholesky.l = lref in
     info ~json "sim time=%.1fus messages=%d exact=%b max_error=%d\n" time msgs
-      (r.Cholesky.l = lref) r.Cholesky.max_error;
-    exit_if_inconsistent (check_report ~json ~strict ~trace ~history ~checker ())
+      exact r.Cholesky.max_error;
+    let extra =
+      [
+        ("app", Printf.sprintf "%S" "cholesky");
+        ("variant", Printf.sprintf "%S" (Cholesky.variant_to_string variant));
+        ("max_error", string_of_int r.Cholesky.max_error);
+        ("sim_time_us", Printf.sprintf "%.1f" time);
+        ("messages", string_of_int msgs);
+        ("exact", string_of_bool exact);
+      ]
+    in
+    exit_if_inconsistent
+      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Matrix dimension.") in
   let density_arg =
@@ -422,6 +459,35 @@ let litmus_catalog () =
       Dsl.make ~procs:2 [ [ Dsl.w "x" 1 ]; [ Dsl.rc "x" 1 ] ] );
   ]
 
+(* the EXP-DELIVERY bench workload shape: phase-disciplined writes with
+   post-barrier PRAM reads, a lock-protected accumulator and an
+   await-signalled finish (mixed runtime only: batching is a
+   mixed-memory feature). Shared by `lint --app delivery` and the
+   metrics/trace subcommands. *)
+let spawn_delivery_workload rt =
+  for i = 0 to 3 do
+    Api.spawn rt i (fun api ->
+        for round = 1 to 3 do
+          for k = 0 to 5 do
+            api.Api.write
+              (Printf.sprintf "d:%d:%d" i k)
+              ((round * 100) + (10 * i) + k)
+          done;
+          api.Api.barrier ();
+          for j = 0 to 3 do
+            ignore
+              (api.Api.read ~label:Op.PRAM
+                 (Printf.sprintf "d:%d:%d" j (round mod 6)))
+          done;
+          api.Api.write_lock "sum";
+          let v = api.Api.read "acc" in
+          api.Api.write "acc" (v + 1);
+          api.Api.write_unlock "sum";
+          api.Api.barrier ()
+        done;
+        if i = 0 then api.Api.write "go" 1 else api.Api.await "go" 1)
+  done
+
 let lint_cmd =
   let app_histories app memory propagation seed =
     let solver () =
@@ -448,38 +514,13 @@ let lint_cmd =
       in
       ("cholesky", Option.get h)
     in
-    (* the EXP-DELIVERY bench workload shape: phase-disciplined writes
-       with post-barrier PRAM reads, a lock-protected accumulator and an
-       await-signalled finish, recorded under update batching (mixed
-       runtime only: batching is a mixed-memory feature) *)
     let delivery () =
       let engine = Engine.create () in
       let cfg =
         { (Config.default ~procs:4) with record = true; batch_max = 8; propagation }
       in
       let rt = Runtime.create engine cfg in
-      for i = 0 to 3 do
-        Api.spawn rt i (fun api ->
-            for round = 1 to 3 do
-              for k = 0 to 5 do
-                api.Api.write
-                  (Printf.sprintf "d:%d:%d" i k)
-                  ((round * 100) + (10 * i) + k)
-              done;
-              api.Api.barrier ();
-              for j = 0 to 3 do
-                ignore
-                  (api.Api.read ~label:Op.PRAM
-                     (Printf.sprintf "d:%d:%d" j (round mod 6)))
-              done;
-              api.Api.write_lock "sum";
-              let v = api.Api.read "acc" in
-              api.Api.write "acc" (v + 1);
-              api.Api.write_unlock "sum";
-              api.Api.barrier ()
-            done;
-            if i = 0 then api.Api.write "go" 1 else api.Api.await "go" 1)
-      done;
+      spawn_delivery_workload rt;
       ignore (Runtime.run rt);
       ("delivery", Runtime.history rt)
     in
@@ -550,6 +591,177 @@ let lint_cmd =
       const run $ app_arg $ json_arg $ strict_arg $ memory_arg $ propagation_arg
       $ seed_arg)
 
+(* ---------------- metrics / trace ---------------- *)
+
+module Metrics = Mc_obs.Metrics
+module Obs_trace = Mc_obs.Trace
+
+(* run one Section-5 app on the mixed runtime with the full Mc_obs
+   instrumentation attached; returns the runtime and the final sim
+   time *)
+let observed_run ~app ~propagation ~seed ~record ~tracer =
+  let engine = Engine.create () in
+  let procs, batch_max, launch =
+    match app with
+    | `Solver ->
+      let problem = Solver.Problem.generate ~seed ~n:8 in
+      ( 3,
+        1,
+        fun rt ->
+          ignore
+            (Solver.launch ~spawn:(Api.spawn rt) ~procs:3
+               ~variant:Solver.Barrier_pram problem) )
+    | `Em ->
+      let params = { Em.rows = 8; cols = 4; steps = 2; seed } in
+      (2, 1, fun rt -> ignore (Em.launch ~spawn:(Api.spawn rt) ~procs:2 params))
+    | `Cholesky ->
+      let m = Sparse.generate ~seed ~n:8 ~density:0.2 in
+      ( 4,
+        1,
+        fun rt ->
+          ignore
+            (Cholesky.launch ~spawn:(Api.spawn rt) ~procs:4
+               ~variant:Cholesky.Lock_based m) )
+    | `Delivery -> (4, 8, spawn_delivery_workload)
+  in
+  let cfg =
+    {
+      (Config.default ~procs) with
+      propagation;
+      record;
+      batch_max;
+      observe = true;
+      tracer;
+    }
+  in
+  let rt = Runtime.create engine cfg in
+  launch rt;
+  let time = Runtime.run rt in
+  (rt, time)
+
+let obs_app_arg =
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("solver", `Solver);
+             ("em", `Em);
+             ("cholesky", `Cholesky);
+             ("delivery", `Delivery);
+           ])
+        `Solver
+    & info [ "app" ] ~docv:"APP"
+        ~doc:"Workload: solver, em, cholesky or delivery.")
+
+let out_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the dump to FILE.")
+
+let write_file path payload =
+  let oc = open_out path in
+  output_string oc payload;
+  output_char oc '\n';
+  close_out oc
+
+let metrics_cmd =
+  let run app propagation seed json out =
+    let rt, time = observed_run ~app ~propagation ~seed ~record:false ~tracer:None in
+    let reg = Runtime.metrics rt in
+    let payload =
+      if json then Metrics.Registry.to_json reg
+      else Format.asprintf "%a" Metrics.Registry.pp reg
+    in
+    info ~json "sim time=%.1fus series=%d\n" time
+      (Metrics.Registry.series_count reg);
+    match out with
+    | Some path ->
+      write_file path payload;
+      if json then
+        Printf.printf "{\"out\":%S,\"series\":%d,\"sim_time_us\":%.1f}\n" path
+          (Metrics.Registry.series_count reg)
+          time
+      else Printf.printf "metrics written to %s\n" path
+    | None -> print_string (payload ^ if json then "\n" else "")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run an app with observability on and dump the metric registry \
+          (counters, gauges, histograms)")
+    Term.(
+      const run $ obs_app_arg $ propagation_arg $ seed_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.")
+      $ out_arg)
+
+let trace_cmd =
+  let run app propagation seed json out format buffer =
+    let tracer = Obs_trace.create ~capacity:buffer () in
+    let rt, time =
+      observed_run ~app ~propagation ~seed ~record:true ~tracer:(Some tracer)
+    in
+    let ops = Mc_history.History.length (Runtime.history rt) in
+    let spans = Obs_trace.span_count tracer in
+    let events = Obs_trace.event_count tracer in
+    let dropped = Obs_trace.dropped tracer in
+    let payload =
+      match format with
+      | `Chrome -> Obs_trace.to_chrome tracer
+      | `Jsonl ->
+        String.concat "\n"
+          (List.map Obs_trace.event_to_chrome_json (Obs_trace.events tracer))
+    in
+    let path = Option.value out ~default:"trace.json" in
+    write_file path payload;
+    if dropped > 0 then
+      info ~json
+        "warning: ring buffer overflowed, %d event(s) dropped (raise --buffer)\n"
+        dropped;
+    info ~json "sim time=%.1fus spans=%d events=%d ops=%d -> %s\n" time spans
+      events ops path;
+    if json then
+      Printf.printf
+        "{\"app\":%S,\"out\":%S,\"spans\":%d,\"events\":%d,\"dropped\":%d,\"ops\":%d,\"sim_time_us\":%.1f,\"spans_match_ops\":%b}\n"
+        (match app with
+        | `Solver -> "solver"
+        | `Em -> "em"
+        | `Cholesky -> "cholesky"
+        | `Delivery -> "delivery")
+        path spans events dropped ops time (spans = ops);
+    if spans <> ops then begin
+      info ~json "error: span count %d does not match recorded op count %d\n"
+        spans ops;
+      exit 1
+    end
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "chrome: one trace_event JSON object for about://tracing; jsonl: \
+             one event object per line.")
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "buffer" ] ~docv:"N" ~doc:"Tracer ring-buffer capacity (events).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an app with the span tracer attached and export a Chrome \
+          trace_event timeline (op spans, sync epochs, message arcs)")
+    Term.(
+      const run $ obs_app_arg $ propagation_arg $ seed_arg
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Print a machine-readable summary on stdout.")
+      $ out_arg $ format_arg $ buffer_arg)
+
 (* ---------------- litmus ---------------- *)
 
 let litmus_cmd =
@@ -593,4 +805,13 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ solver_cmd; em_cmd; cholesky_cmd; litmus_cmd; lint_cmd ]))
+       (Cmd.group info
+          [
+            solver_cmd;
+            em_cmd;
+            cholesky_cmd;
+            litmus_cmd;
+            lint_cmd;
+            metrics_cmd;
+            trace_cmd;
+          ]))

@@ -440,6 +440,21 @@ let stats t =
     live_summaries = live;
   }
 
+let attach_metrics t reg =
+  let module M = Mc_obs.Metrics in
+  let fn name help f =
+    M.Registry.gauge_fn reg ~help name (fun () -> float_of_int (f (stats t)))
+  in
+  fn "mc_online_ops_checked" "operations validated by the online checker" (fun s ->
+      s.ops_checked);
+  fn "mc_online_reads_checked" "reads validated" (fun s -> s.reads_checked);
+  fn "mc_online_failures" "invalid reads found" (fun s -> s.failure_count);
+  fn "mc_online_chains" "concurrency chains allocated" (fun s -> s.chains);
+  fn "mc_online_window_high_water" "high-water of the in-flight window" (fun s ->
+      s.max_resident);
+  fn "mc_online_live_summaries" "writer summaries not yet reclaimed" (fun s ->
+      s.live_summaries)
+
 let groups_of_history h =
   let acc = ref [] in
   Array.iter

@@ -58,5 +58,10 @@ val failures : t -> Mixed.failure list
 val is_consistent : t -> bool
 val stats : t -> stats
 
+(** [attach_metrics t reg] registers callback gauges ([mc_online_*]) over
+    {!stats} — sampled only at snapshot time, so attaching costs nothing
+    per checked operation. *)
+val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit
+
 (** Distinct (sorted) groups appearing in [Group] read labels of [h]. *)
 val groups_of_history : Mc_history.History.t -> int list list

@@ -18,6 +18,8 @@ type t = {
   delivery : delivery;
   batch_max : int;
   batch_window : float;
+  observe : bool;
+  tracer : Mc_obs.Trace.t option;
 }
 
 let default ~procs =
@@ -38,6 +40,8 @@ let default ~procs =
     delivery = Fast;
     batch_max = 1;
     batch_window = 1.0;
+    observe = false;
+    tracer = None;
   }
 
 let propagation_to_string = function

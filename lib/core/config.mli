@@ -93,6 +93,18 @@ type t = {
           are also flushed when [batch_max] is reached and before every
           synchronization operation). Only meaningful when
           [batch_max > 1]. *)
+  observe : bool;
+      (** attach the full {!Mc_obs} metric set — engine, network,
+          replica-delivery, online-checker and staleness series — to the
+          runtime's registry. When false (the default) the runtime still
+          maintains its base op counters and wait histograms (the
+          [wait_summaries]/[op_counts] API), but the hot paths carry no
+          extra instrumentation. *)
+  tracer : Mc_obs.Trace.t option;
+      (** when set, the runtime emits one span per recorded operation,
+          instants for sync epochs, and message send→deliver flow arcs
+          into this tracer, keyed by sim time. Independent of
+          [observe]. *)
 }
 
 val default : procs:int -> t

@@ -18,6 +18,13 @@ type hint = Loc of Mc_history.Op.location | Clock | Any
 
 type watcher = { wseq : int; hint : hint; pred : unit -> bool; resume : unit -> unit }
 
+type obs = {
+  h_delay : Mc_obs.Metrics.Histogram.t; (* receipt -> causal apply, sim µs *)
+  g_depth : Mc_obs.Metrics.Gauge.t; (* pending updates, per node *)
+  h_batch : Mc_obs.Metrics.Histogram.t;
+  arrivals : (int * int, float) Hashtbl.t; (* (writer, useq) -> arrival time *)
+}
+
 (* A Section-3.2 group view: causality maintained across [members].
    [g_applied] counts updates applied to this view per writer. An update
    applies once its dependencies on members are applied here and its
@@ -84,6 +91,7 @@ type t = {
   causal_delivery : bool;
       (* false under multicast routing: updates may arrive with gaps in
          the writer sequence, so only the PRAM view is maintained *)
+  mutable obs : obs option;
 }
 
 let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
@@ -133,7 +141,27 @@ let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
     dirty_clock = false;
     group_views = List.map make_group groups;
     causal_delivery;
+    obs = None;
   }
+
+let attach_metrics t reg =
+  let module M = Mc_obs.Metrics in
+  t.obs <-
+    Some
+      {
+        h_delay =
+          M.Registry.histogram reg
+            ~help:"delay between receipt and causal application (us)"
+            "mc_delivery_delay_us";
+        g_depth =
+          M.Registry.gauge reg ~help:"updates awaiting causal delivery"
+            ~labels:[ ("node", string_of_int t.node_id) ]
+            "mc_delivery_queue_depth";
+        h_batch =
+          M.Registry.histogram reg ~help:"updates per received batch"
+            "mc_update_batch_size";
+        arrivals = Hashtbl.create 64;
+      }
 
 let id t = t.node_id
 let applied t = Array.copy t.applied_counts
@@ -309,6 +337,15 @@ let recheck_invalid t w =
 (* ------------------------------------------------------------------ *)
 
 let causal_apply t (u : Protocol.update) =
+  (match t.obs with
+  | Some o -> (
+    let key = (u.writer, u.useq) in
+    match Hashtbl.find_opt o.arrivals key with
+    | Some arrived ->
+      Hashtbl.remove o.arrivals key;
+      Mc_obs.Metrics.Histogram.observe o.h_delay (Engine.now t.engine -. arrived)
+    | None -> ())
+  | None -> ());
   apply_to_view t.causal_view u;
   mark_dirty_loc t u.loc;
   t.applied_counts.(u.writer) <- t.applied_counts.(u.writer) + 1;
@@ -569,6 +606,10 @@ let receive_one t (u : Protocol.update) =
   t.dirty_clock <- true;
   apply_to_view t.pram_view u;
   mark_dirty_loc t u.loc;
+  (match t.obs with
+  | Some o when t.causal_delivery ->
+    Hashtbl.replace o.arrivals (u.writer, u.useq) (Engine.now t.engine)
+  | _ -> ());
   if t.causal_delivery then
     if t.fast then begin
       t.arr_counter <- t.arr_counter + 1;
@@ -596,13 +637,20 @@ let receive_one t (u : Protocol.update) =
       t.pending <- t.pending @ [ u ];
       drain_pending_ref t;
       List.iter (fun (_, g) -> group_receive_ref t g u) t.group_views
-    end
+    end;
+  match t.obs with
+  | Some o -> Mc_obs.Metrics.Gauge.set o.g_depth (float_of_int (pending_count t))
+  | None -> ()
 
 let receive t u =
   receive_one t u;
   fire_dirty t
 
 let receive_many t us =
+  (match t.obs with
+  | Some o ->
+    Mc_obs.Metrics.Histogram.observe o.h_batch (float_of_int (List.length us))
+  | None -> ());
   List.iter (receive_one t) us;
   fire_dirty t
 

@@ -138,3 +138,9 @@ val wait_until : t -> ?hint:hint -> (unit -> bool) -> unit
     exposed for the runtime to call after non-replica state changes
     (e.g. lock grants). *)
 val notify : t -> unit
+
+(** [attach_metrics t reg] registers delivery metrics in [reg] and starts
+    updating them: [mc_delivery_delay_us] (receipt → causal application,
+    simulated µs), [mc_delivery_queue_depth] (gauge, labelled by [node]),
+    and [mc_update_batch_size] (updates per received batch). *)
+val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit

@@ -3,8 +3,8 @@ module Network = Mc_net.Network
 module Latency = Mc_net.Latency
 module Op = Mc_history.Op
 module Recorder = Mc_history.Recorder
-module Summary = Mc_util.Stats.Summary
-module Counters = Mc_util.Stats.Counters
+module Metrics = Mc_obs.Metrics
+module Trace = Mc_obs.Trace
 
 (* Client-side state of one node, beyond the replica itself. *)
 type node = {
@@ -36,29 +36,38 @@ type node = {
   mutable flush_scheduled : bool; (* a batch-window timer is outstanding *)
 }
 
-(* Statistics handles resolved once at creation, so the per-operation
+(* Registry handles resolved once at creation, so the per-operation
    record is a direct increment / Welford add instead of a hash lookup
-   on every call. *)
+   on every call. The op counters and wait histograms are always live
+   (they back [op_counts]/[wait_summaries], at the same cost as the
+   seed's cached [Stats] handles); everything else hangs off
+   [Config.observe]. *)
 type hot = {
-  c_read : int ref;
-  c_write : int ref;
-  c_init_counter : int ref;
-  c_decrement : int ref;
-  c_write_lock : int ref;
-  c_read_lock : int ref;
-  c_write_unlock : int ref;
-  c_read_unlock : int ref;
-  c_barrier : int ref;
-  c_barrier_subset : int ref;
-  c_await : int ref;
-  c_compute : int ref;
-  s_read : Summary.t;
-  s_write_lock : Summary.t;
-  s_read_lock : Summary.t;
-  s_write_unlock : Summary.t;
-  s_read_unlock : Summary.t;
-  s_barrier : Summary.t;
-  s_await : Summary.t;
+  c_read : Metrics.Counter.t;
+  c_write : Metrics.Counter.t;
+  c_init_counter : Metrics.Counter.t;
+  c_decrement : Metrics.Counter.t;
+  c_write_lock : Metrics.Counter.t;
+  c_read_lock : Metrics.Counter.t;
+  c_write_unlock : Metrics.Counter.t;
+  c_read_unlock : Metrics.Counter.t;
+  c_barrier : Metrics.Counter.t;
+  c_barrier_subset : Metrics.Counter.t;
+  c_await : Metrics.Counter.t;
+  c_compute : Metrics.Counter.t;
+  h_read : Metrics.Histogram.t;
+  h_write_lock : Metrics.Histogram.t;
+  h_read_lock : Metrics.Histogram.t;
+  h_write_unlock : Metrics.Histogram.t;
+  h_read_unlock : Metrics.Histogram.t;
+  h_barrier : Metrics.Histogram.t;
+  h_await : Metrics.Histogram.t;
+}
+
+(* extra series maintained only when [Config.observe] is set *)
+type extras = {
+  h_staleness : Metrics.Histogram.t; (* pending updates at read time *)
+  h_flush : Metrics.Histogram.t; (* updates per outbox flush *)
 }
 
 type t = {
@@ -76,9 +85,10 @@ type t = {
   live_values : (Op.location, (int * int * int) list ref) Hashtbl.t;
   counter_locs : (Op.location, unit) Hashtbl.t;
   mutable tag_counter : int;
-  waits : (string, Summary.t) Hashtbl.t;
-  ops : Counters.t;
+  metrics : Metrics.Registry.t;
   hot : hot;
+  extras : extras option;
+  tracer : Trace.t option;
 }
 
 type proc = { rt : t; id : int }
@@ -173,35 +183,51 @@ let create engine ?latency cfg =
     Network.create engine ~nodes:n ~latency ~send_cost:cfg.Config.send_cost
       ~byte_cost:cfg.Config.byte_cost ()
   in
-  let waits = Hashtbl.create 8 in
-  let ops = Counters.create () in
-  let summary name =
-    let s = Summary.create () in
-    Hashtbl.add waits name s;
-    s
+  let metrics = Metrics.Registry.create () in
+  let op_counter op =
+    Metrics.Registry.counter metrics ~help:"operations issued"
+      ~labels:[ ("op", op) ] "mc_ops_total"
+  in
+  let wait_hist op =
+    Metrics.Registry.histogram metrics ~help:"blocking time per operation (us)"
+      ~labels:[ ("op", op) ] "mc_wait_us"
   in
   let hot =
     {
-      c_read = Counters.counter ops "read";
-      c_write = Counters.counter ops "write";
-      c_init_counter = Counters.counter ops "init_counter";
-      c_decrement = Counters.counter ops "decrement";
-      c_write_lock = Counters.counter ops "write_lock";
-      c_read_lock = Counters.counter ops "read_lock";
-      c_write_unlock = Counters.counter ops "write_unlock";
-      c_read_unlock = Counters.counter ops "read_unlock";
-      c_barrier = Counters.counter ops "barrier";
-      c_barrier_subset = Counters.counter ops "barrier_subset";
-      c_await = Counters.counter ops "await";
-      c_compute = Counters.counter ops "compute";
-      s_read = summary "read";
-      s_write_lock = summary "write_lock";
-      s_read_lock = summary "read_lock";
-      s_write_unlock = summary "write_unlock";
-      s_read_unlock = summary "read_unlock";
-      s_barrier = summary "barrier";
-      s_await = summary "await";
+      c_read = op_counter "read";
+      c_write = op_counter "write";
+      c_init_counter = op_counter "init_counter";
+      c_decrement = op_counter "decrement";
+      c_write_lock = op_counter "write_lock";
+      c_read_lock = op_counter "read_lock";
+      c_write_unlock = op_counter "write_unlock";
+      c_read_unlock = op_counter "read_unlock";
+      c_barrier = op_counter "barrier";
+      c_barrier_subset = op_counter "barrier_subset";
+      c_await = op_counter "await";
+      c_compute = op_counter "compute";
+      h_read = wait_hist "read";
+      h_write_lock = wait_hist "write_lock";
+      h_read_lock = wait_hist "read_lock";
+      h_write_unlock = wait_hist "write_unlock";
+      h_read_unlock = wait_hist "read_unlock";
+      h_barrier = wait_hist "barrier";
+      h_await = wait_hist "await";
     }
+  in
+  let extras =
+    if cfg.Config.observe then
+      Some
+        {
+          h_staleness =
+            Metrics.Registry.histogram metrics
+              ~help:"updates still awaiting causal delivery at read time"
+              "mc_read_staleness_updates";
+          h_flush =
+            Metrics.Registry.histogram metrics ~help:"updates per outbox flush"
+              "mc_outbox_flush_size";
+        }
+    else None
   in
   let rec t =
     lazy
@@ -251,9 +277,10 @@ let create engine ?latency cfg =
          live_values = Hashtbl.create 32;
          counter_locs = Hashtbl.create 8;
          tag_counter = 0;
-         waits;
-         ops;
+         metrics;
          hot;
+         extras;
+         tracer = cfg.Config.tracer;
        })
   in
   let t = Lazy.force t in
@@ -263,6 +290,21 @@ let create engine ?latency cfg =
   for node_id = 0 to n - 1 do
     Network.set_handler net node_id (fun ~src msg -> handle_message t node_id ~src msg)
   done;
+  if cfg.Config.observe then begin
+    Engine.attach_metrics engine metrics;
+    Network.attach_metrics net metrics;
+    Array.iter (fun node -> Replica.attach_metrics node.replica metrics) t.nodes;
+    Option.iter
+      (fun c -> Mc_consistency.Online.attach_metrics c metrics)
+      t.checker
+  end;
+  (match t.tracer with
+  | Some tr ->
+    Network.set_observer net (fun ~src ~dst ~bytes ~kind ~seq ~sent ~recv ->
+        Trace.flow tr ~id:seq ~src ~dst ~ts_send:sent ~ts_recv:recv
+          ~args:[ ("bytes", string_of_int bytes) ]
+          kind)
+  | None -> ());
   t
 
 (* ------------------------------------------------------------------ *)
@@ -365,13 +407,29 @@ let spawn_thread t i f =
 (* Instrumentation helpers                                             *)
 (* ------------------------------------------------------------------ *)
 
-let timed p s f =
+let timed p h f =
   let t0 = Engine.now p.rt.engine in
   let r = f () in
-  Summary.add s (Engine.now p.rt.engine -. t0);
+  Metrics.Histogram.observe h (Engine.now p.rt.engine -. t0);
   r
 
 let charge p = Engine.delay p.rt.engine p.rt.cfg.Config.op_cost
+
+(* One Complete span per recorded operation: emitted at exactly the
+   call sites that feed the recorder, so a trace's span count equals the
+   recorded history's length. [compute] records nothing and traces
+   nothing. *)
+let trace_span p ~t0 ?(args = []) name =
+  match p.rt.tracer with
+  | Some tr ->
+    Trace.span tr ~tid:p.id ~ts:t0 ~dur:(Engine.now p.rt.engine -. t0) ~args name
+  | None -> ()
+
+let trace_instant p ?(args = []) name =
+  match p.rt.tracer with
+  | Some tr ->
+    Trace.instant tr ~cat:"sync" ~tid:p.id ~ts:(Engine.now p.rt.engine) ~args name
+  | None -> ()
 
 let record p kind = Option.map (fun r -> Recorder.record r ~proc:p.id kind) p.rt.recorder
 
@@ -391,10 +449,16 @@ let fresh_tag p =
 (* ------------------------------------------------------------------ *)
 
 let read p ?(label = Op.Causal) loc =
-  incr p.rt.hot.c_read;
+  Metrics.Counter.incr p.rt.hot.c_read;
   charge p;
   let node = p.rt.nodes.(p.id) in
-  timed p p.rt.hot.s_read (fun () ->
+  let t0 = Engine.now p.rt.engine in
+  (match p.rt.extras with
+  | Some e ->
+    Metrics.Histogram.observe e.h_staleness
+      (float_of_int (Replica.pending_count node.replica))
+  | None -> ());
+  timed p p.rt.hot.h_read (fun () ->
       (* demand mode: reads of invalidated locations block until the
          pending updates are applied *)
       Replica.wait_until node.replica ~hint:(Replica.Loc loc) (fun () ->
@@ -417,6 +481,7 @@ let read p ?(label = Op.Causal) loc =
       in
       ignore
         (record p (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
+      trace_span p ~t0 ~args:[ ("loc", loc) ] "read";
       numeric)
 
 (* flush the buffered outbox: a single update goes out as a plain
@@ -428,6 +493,10 @@ let flush_outbox t node_id =
   match node.outbox with
   | [] -> ()
   | buffered ->
+    (match t.extras with
+    | Some e ->
+      Metrics.Histogram.observe e.h_flush (float_of_int node.outbox_len)
+    | None -> ());
     node.outbox <- [];
     node.outbox_len <- 0;
     (match buffered with
@@ -508,11 +577,13 @@ let in_entry_section p =
   && p.rt.nodes.(p.id).open_write_sets <> []
 
 let write p loc v =
-  incr p.rt.hot.c_write;
+  Metrics.Counter.incr p.rt.hot.c_write;
   charge p;
   let node = p.rt.nodes.(p.id) in
+  let t0 = Engine.now p.rt.engine in
   let tag = fresh_tag p in
   ignore (record p (Op.Write { loc; value = tag }));
+  trace_span p ~t0 ~args:[ ("loc", loc) ] "write";
   if in_entry_section p then begin
     (* guarded write: install locally and ship with the unlock instead of
        broadcasting (entry consistency) *)
@@ -528,11 +599,13 @@ let write p loc v =
   end
 
 let init_counter p loc v =
-  incr p.rt.hot.c_init_counter;
+  Metrics.Counter.incr p.rt.hot.c_init_counter;
   charge p;
   let node = p.rt.nodes.(p.id) in
+  let t0 = Engine.now p.rt.engine in
   mark_counter_loc p.rt loc;
   ignore (record p (Op.Write { loc; value = v }));
+  trace_span p ~t0 ~args:[ ("loc", loc) ] "init_counter";
   (* tag 0 marks the location as numerically recorded *)
   if in_entry_section p then begin
     Replica.install_direct node.replica ~loc ~numeric:v ~tag:0;
@@ -545,22 +618,24 @@ let init_counter p loc v =
   end
 
 let decrement p loc ~amount =
-  incr p.rt.hot.c_decrement;
+  Metrics.Counter.incr p.rt.hot.c_decrement;
   charge p;
   let node = p.rt.nodes.(p.id) in
+  let t0 = Engine.now p.rt.engine in
   mark_counter_loc p.rt loc;
-  if in_entry_section p then begin
-    let observed, _ = Replica.causal_read node.replica loc in
-    ignore (record p (Op.Decrement { loc; amount; observed }));
-    Replica.install_direct node.replica ~loc ~numeric:(observed - amount) ~tag:0;
-    track_write_set p loc ~numeric:(observed - amount) ~tag:0
-  end
-  else begin
-    let u, observed = Replica.local_dec node.replica ~loc ~amount in
-    ignore (record p (Op.Decrement { loc; amount; observed }));
-    track_write_set p loc ~numeric:(observed - amount) ~tag:0;
-    broadcast_update p u
-  end
+  (if in_entry_section p then begin
+     let observed, _ = Replica.causal_read node.replica loc in
+     ignore (record p (Op.Decrement { loc; amount; observed }));
+     Replica.install_direct node.replica ~loc ~numeric:(observed - amount) ~tag:0;
+     track_write_set p loc ~numeric:(observed - amount) ~tag:0
+   end
+   else begin
+     let u, observed = Replica.local_dec node.replica ~loc ~amount in
+     ignore (record p (Op.Decrement { loc; amount; observed }));
+     track_write_set p loc ~numeric:(observed - amount) ~tag:0;
+     broadcast_update p u
+   end);
+  trace_span p ~t0 ~args:[ ("loc", loc) ] "decrement"
 
 (* ------------------------------------------------------------------ *)
 (* Locks                                                               *)
@@ -571,13 +646,15 @@ let acquire p lock ~write =
     invalid_arg
       "Runtime: locks are unavailable under multicast routing (use barriers; \
        the mode is for PRAM-consistent programs)";
-  incr (if write then p.rt.hot.c_write_lock else p.rt.hot.c_read_lock);
+  Metrics.Counter.incr
+    (if write then p.rt.hot.c_write_lock else p.rt.hot.c_read_lock);
   charge p;
   flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
+  let t0 = Engine.now p.rt.engine in
   timed p
-    (if write then p.rt.hot.s_write_lock else p.rt.hot.s_read_lock)
+    (if write then p.rt.hot.h_write_lock else p.rt.hot.h_read_lock)
     (fun () ->
       send p.rt ~src:p.id ~dst:(lock_home p.rt lock)
         (Protocol.Lock_request { proc = p.id; lock; write });
@@ -615,19 +692,27 @@ let acquire p lock ~write =
           node.open_write_sets <-
             (lock, Hashtbl.create 8) :: node.open_write_sets;
         record_finish p token ~sync_seq:seq
-          (if write then Op.Write_lock lock else Op.Read_lock lock)
+          (if write then Op.Write_lock lock else Op.Read_lock lock);
+        trace_instant p
+          ~args:[ ("lock", lock); ("seq", string_of_int seq) ]
+          "sync_epoch";
+        trace_span p ~t0
+          ~args:[ ("lock", lock); ("seq", string_of_int seq) ]
+          (if write then "write_lock" else "read_lock")
       | _ -> assert false)
 
 let release p lock ~write =
-  incr (if write then p.rt.hot.c_write_unlock else p.rt.hot.c_read_unlock);
+  Metrics.Counter.incr
+    (if write then p.rt.hot.c_write_unlock else p.rt.hot.c_read_unlock);
   charge p;
   (* the unlock's dependency clock counts our buffered updates, so they
      must be on the wire (FIFO) before it is sent *)
   flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
+  let t0 = Engine.now p.rt.engine in
   timed p
-    (if write then p.rt.hot.s_write_unlock else p.rt.hot.s_read_unlock)
+    (if write then p.rt.hot.h_write_unlock else p.rt.hot.h_read_unlock)
     (fun () ->
       (* eager propagation: flush all our updates everywhere first *)
       (if p.rt.cfg.Config.propagation = Config.Eager && p.rt.cfg.Config.procs > 1
@@ -681,7 +766,10 @@ let release p lock ~write =
             Queue.push resume q)
       in
       record_finish p token ~sync_seq:seq
-        (if write then Op.Write_unlock lock else Op.Read_unlock lock));
+        (if write then Op.Write_unlock lock else Op.Read_unlock lock);
+      trace_span p ~t0
+        ~args:[ ("lock", lock); ("seq", string_of_int seq) ]
+        (if write then "write_unlock" else "read_unlock"));
   stability_sweep p.rt
 
 let write_lock p lock = acquire p lock ~write:true
@@ -698,8 +786,9 @@ let barrier_generic p ~members ~episode ~kind =
   flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
+  let t0 = Engine.now p.rt.engine in
   let multicast = p.rt.cfg.Config.multicast <> None in
-  timed p p.rt.hot.s_barrier (fun () ->
+  timed p p.rt.hot.h_barrier (fun () ->
       send p.rt ~src:p.id ~dst:0
         (Protocol.Barrier_arrive
            {
@@ -724,11 +813,20 @@ let barrier_generic p ~members ~episode ~kind =
             end
           | None -> false);
       Hashtbl.remove node.released (members, episode);
-      record_finish p token kind);
+      record_finish p token kind;
+      let args = [ ("episode", string_of_int episode) ] in
+      let args =
+        if members = [] then args
+        else
+          ("members", String.concat "," (List.map string_of_int members)) :: args
+      in
+      trace_instant p ~args "sync_epoch";
+      trace_span p ~t0 ~args
+        (if members = [] then "barrier" else "barrier_subset"));
   stability_sweep p.rt
 
 let barrier p =
-  incr p.rt.hot.c_barrier;
+  Metrics.Counter.incr p.rt.hot.c_barrier;
   charge p;
   let node = p.rt.nodes.(p.id) in
   let episode = node.barrier_episode in
@@ -736,7 +834,7 @@ let barrier p =
   barrier_generic p ~members:[] ~episode ~kind:(Op.Barrier episode)
 
 let barrier_subset p members =
-  incr p.rt.hot.c_barrier_subset;
+  Metrics.Counter.incr p.rt.hot.c_barrier_subset;
   charge p;
   let members = List.sort_uniq compare members in
   if not (List.mem p.id members) then
@@ -756,11 +854,12 @@ let barrier_subset p members =
     ~kind:(Op.Barrier_group { episode; members })
 
 let await p loc v =
-  incr p.rt.hot.c_await;
+  Metrics.Counter.incr p.rt.hot.c_await;
   charge p;
   flush_outbox p.rt p.id;
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
+  let t0 = Engine.now p.rt.engine in
   let view () =
     if p.rt.cfg.Config.multicast <> None then Replica.pram_read node.replica loc
     else
@@ -769,15 +868,16 @@ let await p loc v =
       | Op.PRAM -> Replica.pram_read node.replica loc
       | Op.Group group -> Replica.group_read node.replica ~group loc
   in
-  timed p p.rt.hot.s_await (fun () ->
+  timed p p.rt.hot.h_await (fun () ->
       Replica.wait_until node.replica ~hint:(Replica.Loc loc) (fun () ->
           fst (view ()) = v);
       let numeric, tag = view () in
       record_finish p token
-        (Op.Await { loc; value = recorded_value ~numeric ~tag }))
+        (Op.Await { loc; value = recorded_value ~numeric ~tag });
+      trace_span p ~t0 ~args:[ ("loc", loc) ] "await")
 
 let compute p cost =
-  incr p.rt.hot.c_compute;
+  Metrics.Counter.incr p.rt.hot.c_compute;
   Engine.delay p.rt.engine cost
 
 (* ------------------------------------------------------------------ *)
@@ -791,11 +891,25 @@ let history t =
 
 let peek t ~proc loc = fst (Replica.causal_read t.nodes.(proc).replica loc)
 
-(* the hot handles pre-create every name at zero; report only the ones
-   actually used, as the lazily-populated tables did *)
-let wait_summaries t =
-  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.waits []
-  |> List.filter (fun (_, s) -> Summary.count s > 0)
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let metrics t = t.metrics
+let tracer t = t.tracer
 
-let op_counts t = List.filter (fun (_, k) -> k > 0) (Counters.to_list t.ops)
+let op_label labels =
+  match List.assoc_opt "op" labels with Some op -> op | None -> ""
+
+(* the hot handles pre-create every series at zero; report only the
+   ones actually used, as the seed's lazily-populated tables did. The
+   registry lists are already sorted by (name, labels), hence by op. *)
+let wait_summaries t =
+  Metrics.Registry.histograms t.metrics
+  |> List.filter_map (fun (name, labels, h) ->
+         if name = "mc_wait_us" && Metrics.Histogram.count h > 0 then
+           Some (op_label labels, Metrics.Histogram.summary h)
+         else None)
+
+let op_counts t =
+  Metrics.Registry.counters t.metrics
+  |> List.filter_map (fun (name, labels, c) ->
+         if name = "mc_ops_total" && Metrics.Counter.get c > 0 then
+           Some (op_label labels, Metrics.Counter.get c)
+         else None)

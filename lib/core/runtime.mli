@@ -123,8 +123,21 @@ val history : t -> Mc_history.History.t
 val peek : t -> proc:int -> Mc_history.Op.location -> int
 
 (** [wait_summaries t] gives the distribution of blocking time per
-    operation kind ("read", "write_lock", "barrier", ...). *)
+    operation kind ("read", "write_lock", "barrier", ...). Backed by the
+    [mc_wait_us] histograms of {!metrics}. *)
 val wait_summaries : t -> (string * Mc_util.Stats.Summary.t) list
 
-(** [op_counts t] counts operations issued per kind. *)
+(** [op_counts t] counts operations issued per kind. Backed by the
+    [mc_ops_total] counters of {!metrics}. *)
 val op_counts : t -> (string * int) list
+
+(** The runtime's metric registry. Always contains the op counters
+    ([mc_ops_total{op}]) and wait histograms ([mc_wait_us{op}]); with
+    [config.observe] set it additionally carries the engine, network,
+    replica-delivery, online-checker, read-staleness
+    ([mc_read_staleness_updates]) and outbox-flush
+    ([mc_outbox_flush_size]) series. *)
+val metrics : t -> Mc_obs.Metrics.Registry.t
+
+(** The tracer passed in [config.tracer], if any. *)
+val tracer : t -> Mc_obs.Trace.t option

@@ -6,6 +6,18 @@ type 'msg link = {
   mutable held : (int * string * 'msg) list; (* reversed: (bytes, kind, msg) *)
 }
 
+type obs = {
+  reg : Mc_obs.Metrics.Registry.t;
+  c_msgs : Mc_obs.Metrics.Counter.t;
+  c_bytes : Mc_obs.Metrics.Counter.t;
+  h_latency : Mc_obs.Metrics.Histogram.t;
+  kind_counters : (string, Mc_obs.Metrics.Counter.t) Hashtbl.t;
+}
+
+type observer =
+  src:int -> dst:int -> bytes:int -> kind:string -> seq:int -> sent:float ->
+  recv:float -> unit
+
 type 'msg t = {
   engine : Engine.t;
   n : int;
@@ -19,6 +31,8 @@ type 'msg t = {
   mutable bytes : int;
   kinds : Mc_util.Stats.Counters.t;
   mutable latencies : Mc_util.Stats.Summary.t;
+  mutable obs : obs option;
+  mutable observer : observer option;
 }
 
 let create engine ~nodes ~latency ?(send_cost = 0.) ?(byte_cost = 0.) () =
@@ -41,7 +55,26 @@ let create engine ~nodes ~latency ?(send_cost = 0.) ?(byte_cost = 0.) () =
     bytes = 0;
     kinds = Mc_util.Stats.Counters.create ();
     latencies = Mc_util.Stats.Summary.create ();
+    obs = None;
+    observer = None;
   }
+
+let attach_metrics t reg =
+  let module M = Mc_obs.Metrics in
+  t.obs <-
+    Some
+      {
+        reg;
+        c_msgs =
+          M.Registry.counter reg ~help:"messages transmitted" "mc_net_messages_total";
+        c_bytes = M.Registry.counter reg ~help:"bytes transmitted" "mc_net_bytes_total";
+        h_latency =
+          M.Registry.histogram reg ~help:"end-to-end message latency (us)"
+            "mc_net_latency_us";
+        kind_counters = Hashtbl.create 8;
+      }
+
+let set_observer t f = t.observer <- Some f
 
 let nodes t = t.n
 let engine t = t.engine
@@ -76,6 +109,28 @@ let transmit t ~src ~dst ~bytes ~kind msg =
   (* FIFO per channel: never deliver before a previously-sent message. *)
   let at = Float.max (depart +. lat) link.last_delivery in
   link.last_delivery <- at;
+  (match t.obs with
+  | Some o ->
+    let module M = Mc_obs.Metrics in
+    M.Counter.incr o.c_msgs;
+    M.Counter.add o.c_bytes bytes;
+    M.Histogram.observe o.h_latency (at -. depart);
+    let kc =
+      match Hashtbl.find_opt o.kind_counters kind with
+      | Some c -> c
+      | None ->
+        let c =
+          M.Registry.counter o.reg ~help:"messages transmitted by kind"
+            ~labels:[ ("kind", kind) ] "mc_net_messages_total"
+        in
+        Hashtbl.add o.kind_counters kind c;
+        c
+    in
+    M.Counter.incr kc
+  | None -> ());
+  (match t.observer with
+  | Some f -> f ~src ~dst ~bytes ~kind ~seq:t.messages ~sent:depart ~recv:at
+  | None -> ());
   Engine.schedule t.engine ~delay:(at -. now) (fun () -> deliver t ~src ~dst msg)
 
 let send t ~src ~dst ?(bytes = 64) ?(kind = "msg") msg =

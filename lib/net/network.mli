@@ -74,3 +74,18 @@ val latency_summary : 'msg t -> Mc_util.Stats.Summary.t
 (** [reset_stats t] zeroes all counters (the topology and handlers are
     kept). *)
 val reset_stats : 'msg t -> unit
+
+(** [attach_metrics t reg] registers [mc_net_messages_total] (overall and
+    per-[kind] labelled), [mc_net_bytes_total] and [mc_net_latency_us] in
+    [reg] and updates them on every transmit. *)
+val attach_metrics : 'msg t -> Mc_obs.Metrics.Registry.t -> unit
+
+(** Per-transmit callback: fires once per non-local message with its
+    departure ([sent]) and delivery ([recv]) sim times and a unique
+    sequence number — the hook the tracer uses to draw send→deliver
+    arcs. Loopback sends bypass it. *)
+type observer =
+  src:int -> dst:int -> bytes:int -> kind:string -> seq:int -> sent:float ->
+  recv:float -> unit
+
+val set_observer : 'msg t -> observer -> unit

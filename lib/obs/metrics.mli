@@ -1,0 +1,125 @@
+(** Metrics registry: counters, gauges and bucketed histograms with
+    labels.
+
+    A {!Registry.t} names every time series by a metric name plus a
+    (possibly empty) label set; registering the same (name, labels) pair
+    twice returns the {e same} handle, so independent subsystems can
+    share a series without coordination. Handles are plain mutable
+    records — recording is an increment or a Welford add plus one bucket
+    binary search, cheap enough to stay on hot paths.
+
+    Values are deliberately simulation-agnostic: times are recorded in
+    whatever unit the caller uses (the DSM runtime records simulated
+    microseconds). Callback gauges ([gauge_fn]) are sampled only at
+    {!Registry.snapshot} time and therefore cost nothing per event. *)
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (the registry canonicalizes). *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  (** [set g v] records the current value and tracks the high water. *)
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+  val get : t -> float
+
+  (** Largest value ever set; [0.] before the first [set]. *)
+  val high_water : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  (** Default upper bounds (strictly increasing): 1, 2, 5 scaled over
+      five decades — suits simulated-microsecond waits. *)
+  val default_buckets : float array
+
+  (** [observe h x] adds [x] to the summary statistics and to the first
+      bucket whose upper bound is [>= x] (the last, implicit bucket has
+      bound [+inf]). *)
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+
+  (** The live underlying summary (shared, not a copy) — lets existing
+      [Stats.Summary] consumers read histogram series directly. *)
+  val summary : t -> Mc_util.Stats.Summary.t
+
+  (** [(upper_bound, cumulative_count)] pairs, ending with
+      [(infinity, count)]. *)
+  val buckets : t -> (float * int) list
+end
+
+(** Snapshot of one series, for exporters. *)
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of { value : float; high_water : float }
+  | Histogram_sample of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      mean : float;
+      stddev : float;
+      buckets : (float * int) list;  (** cumulative, last bound [infinity] *)
+    }
+
+type point = { name : string; labels : labels; help : string; sample : sample }
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  (** [counter t name] returns the counter series [(name, labels)],
+      creating it at zero on first use. Raises [Invalid_argument] if the
+      series exists with a different type. *)
+  val counter : t -> ?help:string -> ?labels:labels -> string -> Counter.t
+
+  val gauge : t -> ?help:string -> ?labels:labels -> string -> Gauge.t
+
+  (** [gauge_fn t name f] registers a callback gauge sampled at
+      {!snapshot} time — zero per-event cost. Re-registering replaces
+      the callback. *)
+  val gauge_fn : t -> ?help:string -> ?labels:labels -> string -> (unit -> float) -> unit
+
+  (** [histogram t ?buckets name] — [buckets] must be strictly
+      increasing; ignored when the series already exists. *)
+  val histogram :
+    t -> ?help:string -> ?labels:labels -> ?buckets:float array -> string -> Histogram.t
+
+  (** Number of registered series. *)
+  val series_count : t -> int
+
+  (** Live handles, for programmatic consumers (e.g. the runtime's
+      [wait_summaries]). Sorted by (name, labels). *)
+  val counters : t -> (string * labels * Counter.t) list
+
+  val histograms : t -> (string * labels * Histogram.t) list
+
+  (** Point-in-time values of every series (callback gauges sampled
+      now), sorted by (name, labels). *)
+  val snapshot : t -> point list
+
+  (** One JSON object: [{"metrics":[{"name":...,"labels":{...},
+      "type":...,...}]}]. Non-finite floats are emitted as [null]. *)
+  val to_json : t -> string
+
+  (** Prometheus-flavoured text exposition. *)
+  val pp : Format.formatter -> t -> unit
+end

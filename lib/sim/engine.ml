@@ -1,6 +1,13 @@
 exception Deadlock of string
 exception Fiber_failure of exn * Printexc.raw_backtrace
 
+type obs = {
+  c_events : Mc_obs.Metrics.Counter.t;
+  c_spawns : Mc_obs.Metrics.Counter.t;
+  c_suspends : Mc_obs.Metrics.Counter.t;
+  g_queue : Mc_obs.Metrics.Gauge.t;
+}
+
 type t = {
   queue : (unit -> unit) Mc_util.Pqueue.t;
   mutable now : float;
@@ -9,6 +16,7 @@ type t = {
   mutable failure : (exn * Printexc.raw_backtrace) option;
   blocked : (int, string) Hashtbl.t; (* fiber id -> name, for diagnostics *)
   mutable next_fiber_id : int;
+  mutable obs : obs option;
 }
 
 (* The currently-running fiber's id, used only for deadlock diagnostics. *)
@@ -25,7 +33,25 @@ let create () =
     failure = None;
     blocked = Hashtbl.create 16;
     next_fiber_id = 0;
+    obs = None;
   }
+
+let attach_metrics t reg =
+  let module M = Mc_obs.Metrics in
+  t.obs <-
+    Some
+      {
+        c_events =
+          M.Registry.counter reg ~help:"events executed by the sim engine"
+            "mc_engine_events_total";
+        c_spawns =
+          M.Registry.counter reg ~help:"fibers spawned" "mc_engine_fibers_spawned_total";
+        c_suspends =
+          M.Registry.counter reg ~help:"fiber suspensions" "mc_engine_suspends_total";
+        g_queue =
+          M.Registry.gauge reg ~help:"event-queue depth sampled at each step"
+            "mc_engine_queue_depth";
+      }
 
 let now t = t.now
 let live_fibers t = t.live
@@ -50,6 +76,9 @@ let handler t fiber_id name =
         | Suspend setup ->
           Some
             (fun (k : (a, _) continuation) ->
+              (match t.obs with
+              | Some o -> Mc_obs.Metrics.Counter.incr o.c_suspends
+              | None -> ());
               Hashtbl.replace t.blocked fiber_id name;
               let resumed = ref false in
               let resume v =
@@ -73,6 +102,9 @@ let spawn t ?(name = "fiber") f =
   let fiber_id = t.next_fiber_id in
   t.next_fiber_id <- fiber_id + 1;
   t.live <- t.live + 1;
+  (match t.obs with
+  | Some o -> Mc_obs.Metrics.Counter.incr o.c_spawns
+  | None -> ());
   schedule t ~delay:0. (fun () ->
       let saved = !current_fiber in
       current_fiber := Some fiber_id;
@@ -96,6 +128,11 @@ let step t =
   let time, action = Mc_util.Pqueue.pop_min t.queue in
   t.now <- time;
   t.events <- t.events + 1;
+  (match t.obs with
+  | Some o ->
+    Mc_obs.Metrics.Counter.incr o.c_events;
+    Mc_obs.Metrics.Gauge.set o.g_queue (float_of_int (Mc_util.Pqueue.length t.queue))
+  | None -> ());
   action ();
   check_failure t
 

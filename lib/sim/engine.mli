@@ -67,6 +67,13 @@ val live_fibers : t -> int
 (** [events_processed t] counts events executed so far. *)
 val events_processed : t -> int
 
+(** [attach_metrics t reg] registers engine counters
+    ([mc_engine_events_total], [mc_engine_fibers_spawned_total],
+    [mc_engine_suspends_total]) and the [mc_engine_queue_depth] gauge in
+    [reg] and starts updating them. Until attached the engine records
+    nothing beyond its own [events_processed] count. *)
+val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit
+
 (** Condition variables for fibers: a wait/wake primitive used by locks,
     barriers and awaits. *)
 module Cond : sig

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Guard the BENCH_CORE.json schema produced by observe=false bench runs.
+
+The observability layer must not change the shape of the core benchmark
+artifact: a run of the seed experiment set (``--exp delivery --exp online``)
+has to emit exactly the key paths recorded in ``bench_core_schema.txt``.
+Array elements are collapsed to ``[]`` so varying row counts (quick vs
+full sizes) do not affect the schema.
+
+Usage:
+    check_bench_schema.py BENCH_CORE.json [schema.txt]
+
+With one argument the schema file next to this script is used. Exits 0
+on an exact match, 1 with a path-level diff otherwise. Regenerate after
+an intentional schema change with:
+    check_bench_schema.py --regen BENCH_CORE.json [schema.txt]
+"""
+
+import json
+import os
+import sys
+
+
+def key_paths(value, prefix=""):
+    """Yield every key path in *value*, arrays collapsed to []."""
+    if isinstance(value, dict):
+        if not value:
+            yield prefix + "{}"
+        for k, v in value.items():
+            yield from key_paths(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(value, list):
+        if not value:
+            yield prefix + "[]"
+        for v in value:
+            yield from key_paths(v, prefix + "[]")
+    else:
+        yield f"{prefix}:{type(value).__name__}"
+
+
+def schema_of(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return sorted(set(key_paths(doc)))
+
+
+def main(argv):
+    regen = "--regen" in argv
+    argv = [a for a in argv if a != "--regen"]
+    if not 1 <= len(argv) <= 2:
+        sys.exit(__doc__)
+    bench = argv[0]
+    schema_file = (
+        argv[1]
+        if len(argv) == 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "bench_core_schema.txt")
+    )
+    got = schema_of(bench)
+    if regen:
+        with open(schema_file, "w") as fh:
+            fh.write("\n".join(got) + "\n")
+        print(f"wrote {len(got)} key paths to {schema_file}")
+        return 0
+    with open(schema_file) as fh:
+        want = [line.strip() for line in fh if line.strip()]
+    missing = sorted(set(want) - set(got))
+    extra = sorted(set(got) - set(want))
+    if not missing and not extra:
+        print(f"BENCH schema OK: {len(got)} key paths match {schema_file}")
+        return 0
+    for p in missing:
+        print(f"missing: {p}", file=sys.stderr)
+    for p in extra:
+        print(f"extra:   {p}", file=sys.stderr)
+    print(
+        f"BENCH schema drift: {len(missing)} missing, {len(extra)} extra "
+        f"key paths (vs {schema_file})",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
