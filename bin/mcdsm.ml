@@ -762,6 +762,80 @@ let trace_cmd =
           & info [ "json" ] ~doc:"Print a machine-readable summary on stdout.")
       $ out_arg $ format_arg $ buffer_arg)
 
+(* ---------------- analyze ---------------- *)
+
+(* [mcdsm analyze]: the symbolic analyzer over the IR models of the
+   Section-5 applications — no execution, verdicts hold at every
+   parameter valuation. Follows the [info ~json] discipline: with
+   --json, stdout carries exactly one JSON array of per-program
+   reports. *)
+let analyze_cmd =
+  let module St = Mc_static.Static in
+  let module Sm = Mc_apps.Static_models in
+  let progs_of = function
+    | `Solver ->
+      [ Sm.solver_barrier; Sm.solver_handshake ~labels:Sm.Hs_group () ]
+    | `Em -> [ Sm.em_field ]
+    | `Cholesky -> [ Sm.cholesky ]
+    | `All -> Sm.all ()
+  in
+  let run app json strict proof =
+    let reports = List.map St.analyze (progs_of app) in
+    if json then begin
+      List.iter
+        (fun (r : St.report) ->
+          info ~json "%s: %s\n" r.St.program
+            (Mc_static.Classify.verdict_to_string r.St.verdict))
+        reports;
+      print_endline
+        ("[" ^ String.concat "," (List.map St.to_json reports) ^ "]")
+    end
+    else
+      List.iter (fun r -> St.pp ~proof Format.std_formatter r) reports;
+    if strict && List.exists St.has_errors reports then exit 1
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("solver", `Solver); ("em", `Em); ("cholesky", `Cholesky);
+               ("all", `All) ])
+          `All
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Programs to analyze: solver (barrier and group-handshake \
+             variants), em, cholesky, or all.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON array of per-program reports on stdout; \
+             human-readable lines go to stderr.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit with status 1 when any S0xx error is reported.")
+  in
+  let proof_arg =
+    Arg.(
+      value & flag
+      & info [ "proof" ]
+          ~doc:
+            "Print the verdict justification and the per-read label table \
+             with inference proofs.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically prove the Section-5 IR models SC and infer weakest \
+          read labels, without executing them")
+    Term.(const run $ app_arg $ json_arg $ strict_arg $ proof_arg)
+
 (* ---------------- litmus ---------------- *)
 
 let litmus_cmd =
@@ -810,6 +884,7 @@ let () =
             solver_cmd;
             em_cmd;
             cholesky_cmd;
+            analyze_cmd;
             litmus_cmd;
             lint_cmd;
             metrics_cmd;

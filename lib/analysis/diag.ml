@@ -7,11 +7,12 @@ type t = {
   related_op : int option;
   proc : int option;
   loc : string option;
+  site : string option;
   message : string;
 }
 
-let make ~rule ~severity ?op_id ?related_op ?proc ?loc message =
-  { rule; severity; op_id; related_op; proc; loc; message }
+let make ~rule ~severity ?op_id ?related_op ?proc ?loc ?site message =
+  { rule; severity; op_id; related_op; proc; loc; site; message }
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let compare_severity a b = Stdlib.compare (severity_rank a) (severity_rank b)
@@ -40,6 +41,7 @@ let pp fmt d =
   | None, _ -> ());
   (match d.proc with Some p -> Format.fprintf fmt " p%d" p | None -> ());
   (match d.loc with Some l -> Format.fprintf fmt " [%s]" l | None -> ());
+  (match d.site with Some s -> Format.fprintf fmt " @%s" s | None -> ());
   Format.fprintf fmt ": %s" d.message
 
 (* Minimal JSON string escaping: the quote, the backslash and control
@@ -69,6 +71,9 @@ let to_json d =
       Option.map (Printf.sprintf "\"related_op\":%d") d.related_op;
       Option.map (Printf.sprintf "\"proc\":%d") d.proc;
       Option.map (fun l -> Printf.sprintf "\"loc\":\"%s\"" (json_escape l)) d.loc;
+      Option.map
+        (fun s -> Printf.sprintf "\"site\":\"%s\"" (json_escape s))
+        d.site;
       Some (Printf.sprintf "\"message\":\"%s\"" (json_escape d.message));
     ]
   in
@@ -87,6 +92,13 @@ module Rules = struct
       ("A001", Info, "read is over-labelled: a weaker label preserves the SC guarantee");
       ("A002", Warning, "read is under-labelled: its label does not validate the value read");
       ("A003", Error, "read returns a value invalid under every label");
+      ("S001", Error, "static race: conflicting access pair not provably ordered at any parameters");
+      ("S002", Warning, "shared base written by several roles with an empty must-lockset intersection");
+      ("S003", Info, "static proof: the program is sequentially consistent by a paper theorem");
+      ("S004", Warning, "static proof failed: no theorem of the paper applies");
+      ("S005", Info, "read is statically over-labelled: a weaker label suffices at every parameter");
+      ("S006", Warning, "read is statically under-labelled: the declared label is weaker than required");
+      ("S007", Info, "gate assumption: an await was treated as ordered after its gating lock epochs");
     ]
 
   let description code =

@@ -6,8 +6,9 @@
     the driver can merge, sort, filter and render them uniformly.
 
     Rule-code namespaces: [R0xx] race detection, [L0xx] lock and
-    synchronization discipline, [A0xx] read-label advice. The table of
-    codes lives in {!Rules} and is documented in DESIGN.md. *)
+    synchronization discipline, [A0xx] read-label advice, [S0xx] static
+    (symbolic, execution-free) analysis. The table of codes lives in
+    {!Rules} and is documented in DESIGN.md. *)
 
 type severity = Error | Warning | Info
 
@@ -18,6 +19,9 @@ type t = {
   related_op : int option;  (** second operation of a pair, if any *)
   proc : int option;
   loc : string option;  (** shared-memory location or lock name *)
+  site : string option;
+      (** static program point (IR node path), for diagnostics produced
+          without an execution; dynamic analyses leave it [None] *)
   message : string;
 }
 
@@ -28,6 +32,7 @@ val make :
   ?related_op:int ->
   ?proc:int ->
   ?loc:string ->
+  ?site:string ->
   string ->
   t
 

@@ -1,0 +1,300 @@
+(* The three Section-5 applications re-expressed in the [Mc_static] IR
+   (ISSUE 6 tentpole): parameterized, data-independent models whose
+   static verdicts must match the paper — the barrier solver and the EM
+   field keep PRAM phases (Corollary 2), the handshake solver needs
+   group visibility through the coordinator (Theorem 1), and the lock
+   cholesky is entry-consistent (Corollary 1) — and whose
+   concretizations feed the differential tests.
+
+   The models idealize the dynamic apps where data-dependence cannot be
+   expressed: convergence tests become a fixed iteration count [T],
+   sparse dependency structure becomes dense, and cholesky is written
+   with every access under its column lock (the idealized
+   entry-consistent discipline the paper describes). *)
+
+module P = Mc_static.Pir
+
+let n = P.Param "N"
+and procs = P.Param "P"
+and iters = P.Param "T"
+
+let t = P.Var "t"
+and i = P.Var "i"
+and j = P.Var "j"
+and k = P.Var "k"
+and r = P.Var "r"
+and w = P.Var "w"
+
+let last_index p = P.Sub (p, P.Int 1)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the barrier solver (Corollary 2, PRAM reads)              *)
+(* ------------------------------------------------------------------ *)
+
+let sweep ?(label = P.L_pram) base =
+  P.for_ "j" (P.Int 0) (last_index n) [ P.read ~label (P.loc base [ j ]) ]
+
+let solver_barrier : P.t =
+  {
+    name = "solver-barrier";
+    params = [ P.param "N" 8; P.param ~min:2 "P" 4; P.param "T" 3 ];
+    roles =
+      [
+        {
+          rname = "coord";
+          range = P.Single (P.Int 0);
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters [ sweep "x"; P.bar; P.bar ];
+              P.write (P.loc0 "done") (P.Int 1);
+            ];
+        };
+        {
+          rname = "worker";
+          range = P.Span { lo = P.Int 1; hi = last_index procs };
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [
+                  sweep "x";
+                  P.compute 1.0;
+                  P.bar;
+                  P.read ~label:P.L_pram (P.loc0 "done");
+                  P.for_owned "r" n [ P.write (P.loc "x" [ r ]) t ];
+                  P.bar;
+                ];
+            ];
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the handshake solver (Theorem 1, group reads)             *)
+(* ------------------------------------------------------------------ *)
+
+type solver_labels = Hs_causal | Hs_group | Hs_pram
+
+let solver_labels_to_string = function
+  | Hs_causal -> "causal"
+  | Hs_group -> "group"
+  | Hs_pram -> "pram"
+
+(* the smallest labels restoring correctness route all visibility
+   through the coordinator: each worker reads with group {0, self} *)
+let handshake_labels = function
+  | Hs_causal -> (P.L_causal, P.L_causal)
+  | Hs_group -> (P.L_group [ P.Int 0 ], P.L_group [ P.Int 0; P.Proc ])
+  | Hs_pram -> (P.L_pram, P.L_pram)
+
+let solver_handshake ?(labels = Hs_group) () : P.t =
+  let clabel, wlabel = handshake_labels labels in
+  {
+    name = "solver-handshake-" ^ solver_labels_to_string labels;
+    params = [ P.param "N" 8; P.param ~min:2 "P" 4; P.param "T" 3 ];
+    roles =
+      [
+        {
+          rname = "coord";
+          range = P.Single (P.Int 0);
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [
+                  P.for_procs "w" "worker"
+                    [ P.await (P.loc "computed" [ w ]) t ];
+                  P.for_procs "w" "worker"
+                    [ P.write (P.loc "computed" [ w ]) (P.Neg t) ];
+                  P.for_procs "w" "worker"
+                    [ P.await (P.loc "updated" [ w ]) t ];
+                  sweep ~label:clabel "x";
+                  P.write (P.loc0 "done") t;
+                  P.for_procs "w" "worker"
+                    [ P.write (P.loc "updated" [ w ]) (P.Neg t) ];
+                ];
+            ];
+        };
+        {
+          rname = "worker";
+          range = P.Span { lo = P.Int 1; hi = last_index procs };
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [
+                  P.read ~label:wlabel (P.loc0 "done");
+                  sweep ~label:wlabel "x";
+                  P.compute 1.0;
+                  P.write (P.loc "computed" [ P.Proc ]) t;
+                  P.await (P.loc "computed" [ P.Proc ]) (P.Neg t);
+                  P.for_owned "r" n [ P.write (P.loc "x" [ r ]) t ];
+                  P.write (P.loc "updated" [ P.Proc ]) t;
+                  P.await (P.loc "updated" [ P.Proc ]) (P.Neg t);
+                ];
+            ];
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.2: the EM field (Corollary 2, PRAM reads)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One strip of rows per process; only boundary rows cross strips, so
+   the model keeps per-process boundary locations [e[p][j]] / [h[p][j]].
+   The first and last strips lack one neighbour each, hence three
+   roles. *)
+
+let cols = P.Param "C"
+
+let col_sweep mk = P.for_ "j" (P.Int 0) (last_index cols) (mk j)
+
+let em_gather_write =
+  [
+    P.write (P.loc "chk" [ P.Proc ]) (P.Int 1);
+    P.write (P.loc "nrg" [ P.Proc ]) (P.Int 1);
+    P.bar;
+  ]
+
+let em_gather_read over =
+  P.for_procs "w" over
+    [
+      P.read ~label:P.L_pram (P.loc "chk" [ w ]);
+      P.read ~label:P.L_pram (P.loc "nrg" [ w ]);
+    ]
+
+let em_field : P.t =
+  let read_ghost_h =
+    col_sweep (fun j ->
+        [ P.read ~label:P.L_pram (P.loc "h" [ P.Sub (P.Proc, P.Int 1); j ]) ])
+  in
+  let read_ghost_e =
+    col_sweep (fun j ->
+        [ P.read ~label:P.L_pram (P.loc "e" [ P.Add (P.Proc, P.Int 1); j ]) ])
+  in
+  let publish base = col_sweep (fun j -> [ P.write (P.loc base [ P.Proc; j ]) t ]) in
+  {
+    name = "em-field";
+    params = [ P.param "C" 4; P.param ~min:3 "P" 4; P.param "T" 3 ];
+    roles =
+      [
+        {
+          rname = "first";
+          range = P.Single (P.Int 0);
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [
+                  P.compute 1.0;
+                  P.bar;
+                  read_ghost_e;
+                  publish "h";
+                  P.bar;
+                ];
+            ]
+            @ em_gather_write
+            @ [
+                P.read ~label:P.L_pram (P.loc "chk" [ P.Proc ]);
+                P.read ~label:P.L_pram (P.loc "nrg" [ P.Proc ]);
+                em_gather_read "mid";
+                em_gather_read "last";
+              ];
+        };
+        {
+          rname = "mid";
+          range = P.Span { lo = P.Int 1; hi = P.Sub (procs, P.Int 2) };
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [
+                  read_ghost_h;
+                  P.compute 1.0;
+                  publish "e";
+                  P.bar;
+                  read_ghost_e;
+                  publish "h";
+                  P.bar;
+                ];
+            ]
+            @ em_gather_write;
+        };
+        {
+          rname = "last";
+          range = P.Single (last_index procs);
+          body =
+            [
+              P.for_ "t" (P.Int 1) iters
+                [ read_ghost_h; P.compute 1.0; publish "e"; P.bar; P.bar ];
+            ]
+            @ em_gather_write;
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.3 / Figure 5: sparse cholesky (Corollary 1, causal reads) *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense idealization: column [j] depends on every earlier column, so
+   [count[j]] starts at [j] and each predecessor decrements it once,
+   under the column lock [l[j]] that also guards every access to the
+   column data [L[i][j]]. Columns are block-partitioned across all
+   processes; every process gathers at the end under read locks. *)
+
+let cholesky : P.t =
+  let body =
+    [
+      (* init: install the owned columns and their dependency counts *)
+      P.for_owned "j" n
+        [
+          P.locked (P.loc "l" [ j ])
+            [
+              P.for_ "i" j (last_index n)
+                [ P.write (P.loc "L" [ i; j ]) (P.Int 1) ];
+              P.write (P.loc "count" [ j ]) j;
+            ];
+        ];
+      P.bar;
+      (* process the owned columns in order *)
+      P.for_owned "j" n
+        [
+          P.await (P.loc "count" [ j ]) (P.Int 0);
+          P.locked (P.loc "l" [ j ])
+            [
+              P.for_ "i" j (last_index n)
+                [
+                  P.read (P.loc "L" [ i; j ]);
+                  P.write (P.loc "L" [ i; j ]) (P.Int 2);
+                ];
+              P.compute 1.0;
+            ];
+          P.for_ "k" (P.Add (j, P.Int 1)) (last_index n)
+            [
+              P.locked (P.loc "l" [ k ])
+                [
+                  P.for_ "i" k (last_index n)
+                    [ P.fetch_add (P.loc "L" [ i; k ]) (P.Int (-1)) ];
+                  P.fetch_add (P.loc "count" [ k ]) (P.Int (-1));
+                ];
+            ];
+        ];
+      P.bar;
+      (* gather under read locks *)
+      P.for_ "j" (P.Int 0) (last_index n)
+        [
+          P.locked ~mode:P.R (P.loc "l" [ j ])
+            [ P.for_ "i" j (last_index n) [ P.read (P.loc "L" [ i; j ]) ] ];
+        ];
+    ]
+  in
+  {
+    name = "cholesky";
+    params = [ P.param "N" 6; P.param ~min:2 "P" 3 ];
+    roles = [ { rname = "proc"; range = P.Span { lo = P.Int 0; hi = last_index procs }; body } ];
+  }
+
+let all () =
+  [
+    solver_barrier;
+    solver_handshake ~labels:Hs_group ();
+    em_field;
+    cholesky;
+  ]

@@ -1,0 +1,25 @@
+(** The Section-5 applications as [Mc_static] IR programs: parameterized
+    data-independent models whose static verdicts match the paper — the
+    barrier solver and the EM field prove SC by Corollary 2 with PRAM
+    reads, the handshake solver by Theorem 1 with group reads routed
+    through the coordinator, and the (idealized, entry-consistent) lock
+    cholesky by Corollary 1 with causal reads. Concretized through
+    [Mc_static.Concretize] for the differential tests. *)
+
+val solver_barrier : Mc_static.Pir.t
+
+type solver_labels = Hs_causal | Hs_group | Hs_pram
+
+val solver_labels_to_string : solver_labels -> string
+
+(** Defaults to the paper's minimal [Hs_group] labelling: each worker
+    reads with group [{0, self}]. [Hs_pram] is the deliberately
+    under-labelled variant the analyzer must reject. *)
+val solver_handshake : ?labels:solver_labels -> unit -> Mc_static.Pir.t
+
+val em_field : Mc_static.Pir.t
+val cholesky : Mc_static.Pir.t
+
+(** The CLI set: barrier and group-handshake solvers, EM field,
+    cholesky. *)
+val all : unit -> Mc_static.Pir.t list

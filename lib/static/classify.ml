@@ -1,0 +1,424 @@
+(* The static theorem classifier and weakest-label inference (ISSUE 6
+   tentpole, part 4b).
+
+   [classify] tries the paper's SC results in order of label strength:
+
+   - Corollary 2 (PRAM phases): a barrier-aligned program without awaits
+     or fetch-adds in which every shared location is written at most
+     once per barrier phase, and read within the writing phase only by
+     its writer, after the write. PRAM reads then suffice for SC, at
+     every parameter valuation.
+   - Corollary 1 (entry consistency): every shared base guarded by a
+     single lock discipline (W mode for writes) and every static race
+     discharged; causal labels on shared reads then give SC.
+   - Theorem 1: no static races and every declared label at least as
+     strong as the inferred requirement.
+
+   The per-read weakest-label inference mirrors the dynamic advisor's
+   precedence exactly — this is what makes the differential property
+   "static label ≥ dynamic recommendation" hold:
+
+   - Corollary-2 programs: PRAM everywhere (the advisor's [pramc]
+     branch).
+   - Corollary-1 programs: causal on shared reads (the advisor
+     recommends causal on entry-consistent histories even where PRAM
+     would validate).
+   - otherwise per read: a lock-, gate- or unordered-witnessed conflict
+     forces causal (reduced lock chains are not visible to the reader
+     across non-adjacent epochs under PRAM); all-barrier conflicts allow
+     PRAM (barrier chains route through the reader's own barrier ops);
+     skeleton-witnessed conflicts are re-proved with the await edges
+     restricted to a candidate visibility group — the reader alone
+     (PRAM) or the reader plus the singleton roles (Group). *)
+
+type verdict = Corollary2 | Corollary1 | Theorem1 | Unproved of string
+
+let verdict_to_string = function
+  | Corollary2 -> "SC by Corollary 2 (PRAM phases)"
+  | Corollary1 -> "SC by Corollary 1 (entry consistency)"
+  | Theorem1 -> "SC by Theorem 1 (mixed labels)"
+  | Unproved r -> Printf.sprintf "not proved SC: %s" r
+
+type read_report = {
+  racc : Summary.access;
+  declared : Pir.rlabel;
+  inferred : Pir.rlabel;
+  rproof : string;
+}
+
+type t = {
+  verdict : verdict;
+  verdict_proof : string;
+  failing : (string * string) option;  (** site pair behind [Unproved] *)
+  reads : read_report list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Label order                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let strength = function Pir.L_pram -> 0 | Pir.L_group _ -> 1 | Pir.L_causal -> 2
+
+let group_strings ts =
+  List.sort_uniq compare (List.map Pir.term_to_string ts)
+
+(* [declared] validates whatever [inferred] validates *)
+let label_geq ~declared ~inferred =
+  match (declared, inferred) with
+  | Pir.L_group d, Pir.L_group i ->
+    List.for_all (fun t -> List.mem t (group_strings d)) (group_strings i)
+  | d, i -> strength d >= strength i
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 2: PRAM phase discipline                                  *)
+(* ------------------------------------------------------------------ *)
+
+let no_sync_ops (s : Summary.t) =
+  List.for_all
+    (fun (a : Summary.access) ->
+      match a.Summary.kind with
+      | Summary.K_await | Summary.K_fa_read | Summary.K_fa_write -> false
+      | _ -> true)
+    s.Summary.accesses
+
+(* instance pairs for the phase discipline: cross-instance plus the
+   same-instance pair (one process may not write a location twice in a
+   phase either) *)
+let cor2_inst_pairs actx ra rb =
+  let cross = Summary.distinct_inst_pairs actx ra rb in
+  if ra = rb then
+    match Summary.insts_of_role actx ra with
+    | i :: _ -> (i, i) :: cross
+    | [] -> cross
+  else cross
+
+(* under [sys], the two fresh instantiations of one access on one
+   instance denote the same dynamic occurrence: every binder pair is
+   forced equal *)
+let occ_forced_same ctx sys (x : Summary.iaccess) (y : Summary.iaccess) =
+  List.for_all2
+    (fun (_, ax) (_, ay) ->
+      Sym.forced_zero_given ctx sys (Sym.sub (Sym.atom ax) (Sym.atom ay)))
+    x.Summary.ibinders y.Summary.ibinders
+
+(* same-instance write then read: the read provably follows the write in
+   program order whenever they collide in one phase — shared enclosing
+   binders forced equal and the write positioned earlier *)
+let write_then_read ctx sys (w : Summary.iaccess) (r : Summary.iaccess) =
+  w.Summary.acc.Summary.pos < r.Summary.acc.Summary.pos
+  && List.for_all
+       (fun (bs, aw) ->
+         match List.assoc_opt bs r.Summary.ibinders with
+         | None -> true
+         | Some ar ->
+           Sym.forced_zero_given ctx sys (Sym.sub (Sym.atom aw) (Sym.atom ar)))
+       w.Summary.ibinders
+
+(* one phase-discipline violation, or None *)
+let cor2_violation (sr : Srace.t) =
+  let actx = sr.Srace.actx in
+  let ctx = actx.Summary.ctx in
+  let s = actx.Summary.summary in
+  let accs = s.Summary.accesses in
+  let shared_accs =
+    List.filter
+      (fun (a : Summary.access) ->
+        Srace.shared_base actx a.Summary.loc.Pir.base)
+      accs
+  in
+  let check (a : Summary.access) (b : Summary.access) =
+    if not (Summary.kinds_conflict a b) then None
+    else
+      List.find_map
+        (fun (ia, ib) ->
+          let xa = Summary.instantiate actx a ia in
+          let xb = Summary.instantiate actx b ib in
+          match Summary.loc_eqs xa xb with
+          | None -> None
+          | Some eqs ->
+            let sys =
+              eqs @ [ Sym.sub xa.Summary.iphase xb.Summary.iphase ]
+            in
+            if not (Sym.satisfiable ctx sys) then None
+            else
+              let same_inst =
+                Summary.inst_key ia = Summary.inst_key ib
+              in
+              let ok =
+                if Summary.is_write a && Summary.is_write b then
+                  (* two writes in one phase: only the literal same
+                     occurrence may collide *)
+                  a.Summary.aid = b.Summary.aid && same_inst
+                  && occ_forced_same ctx sys xa xb
+                else if same_inst then
+                  (* writer reading its own value, after the write *)
+                  if Summary.is_write a then write_then_read ctx sys xa xb
+                  else write_then_read ctx sys xb xa
+                else false (* read of another process's same-phase write *)
+              in
+              if ok then None
+              else Some (a.Summary.site, b.Summary.site))
+        (cor2_inst_pairs actx a.Summary.role b.Summary.role)
+  in
+  List.find_map
+    (fun (a : Summary.access) ->
+      List.find_map
+        (fun (b : Summary.access) ->
+          if a.Summary.aid <= b.Summary.aid then check a b else None)
+        shared_accs)
+    shared_accs
+
+let cor2_applies (sr : Srace.t) =
+  sr.Srace.aligned
+  && no_sync_ops sr.Srace.actx.Summary.summary
+  &&
+  match cor2_violation sr with None -> true | Some _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 1: entry consistency                                      *)
+(* ------------------------------------------------------------------ *)
+
+let shared_bases actx =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (a : Summary.access) ->
+         if Summary.is_await a then None
+         else
+           let b = a.Summary.loc.Pir.base in
+           if Srace.shared_base actx b then Some b else None)
+       actx.Summary.summary.Summary.accesses)
+
+let cor1_applies (sr : Srace.t) =
+  let actx = sr.Srace.actx in
+  sr.Srace.races = []
+  && List.for_all (Srace.covered_base actx) (shared_bases actx)
+  && List.for_all
+       (fun (a : Summary.access) ->
+         match a.Summary.kind with
+         | Summary.K_read l ->
+           (not (Srace.shared_base actx a.Summary.loc.Pir.base))
+           || l = Pir.L_causal
+         | _ -> true)
+       actx.Summary.summary.Summary.accesses
+
+(* ------------------------------------------------------------------ *)
+(* Per-read inference                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* await-edge filter: the edge is usable when either endpoint process
+   provably belongs to the visibility group *)
+let group_filter group p q =
+  let mem t = List.exists (Sym.must_equal t) group in
+  mem p || mem q
+
+let singleton_roles actx =
+  List.filter_map
+    (fun (ri : Summary.role_info) ->
+      match ri.Summary.range with
+      | Pir.Single t -> Some (ri.Summary.rname, t)
+      | Pir.Span _ -> None)
+    actx.Summary.summary.Summary.roles
+
+(* conflicts of read [r] on instance [inst] *)
+let conflicts_of (sr : Srace.t) (r : Summary.access) inst =
+  let k = Summary.inst_key inst in
+  List.filter_map
+    (fun (p : Srace.pair) ->
+      if
+        p.Srace.pa.Summary.aid = r.Summary.aid
+        && Summary.inst_key p.Srace.pia = k
+      then Some (p.Srace.pb, p.Srace.pib, p.Srace.pwitness)
+      else if
+        p.Srace.pb.Summary.aid = r.Summary.aid
+        && Summary.inst_key p.Srace.pib = k
+      then Some (p.Srace.pa, p.Srace.pia, p.Srace.pwitness)
+      else None)
+    sr.Srace.pairs
+
+(* the weakest label sufficing for read [r] on one instance *)
+let infer_inst (sr : Srace.t) (r : Summary.access) inst =
+  let actx = sr.Srace.actx in
+  let conflicts = conflicts_of sr r inst in
+  if conflicts = [] then (Pir.L_pram, "no conflicting writes")
+  else
+  let causal =
+    List.exists
+      (fun (_, _, w) ->
+        match w with
+        | Srace.W_lock _ | Srace.W_gate | Srace.W_unordered -> true
+        | Srace.W_phase | Srace.W_skeleton -> false)
+      conflicts
+  in
+  if causal then
+    (Pir.L_causal, "a lock-, gate- or unordered-witnessed conflict")
+  else
+    let skeletal =
+      List.filter_map
+        (fun (o, oi, w) ->
+          match w with Srace.W_skeleton -> Some (o, oi) | _ -> None)
+        conflicts
+    in
+    if skeletal = [] then
+      (Pir.L_pram, "every conflicting write is barrier-ordered")
+    else
+      let visible group =
+        let filter = group_filter group in
+        List.for_all
+          (fun ((o : Summary.access), oi) ->
+            Skeleton.ordered sr.Srace.skel ~filter r inst o oi
+            || Skeleton.ordered sr.Srace.skel ~filter o oi r inst)
+          skeletal
+      in
+      if visible [ inst.Summary.iproc ] then
+        (Pir.L_pram, "handshake edges incident to the reader suffice")
+      else
+        let singles = singleton_roles actx in
+        let sterms =
+          List.map
+            (fun (_, t) ->
+              Summary.sym_of_term ~binders:[] ~proc:Sym.zero t)
+            singles
+        in
+        if singles <> [] && visible (inst.Summary.iproc :: sterms) then
+          ( Pir.L_group (Pir.Proc :: List.map snd singles),
+            "handshake edges within the reader's group suffice" )
+        else (Pir.L_causal, "ordering needs edges outside any static group")
+
+let join_label a b =
+  if strength a >= strength b then
+    if strength a = strength b then
+      match (a, b) with
+      | Pir.L_group ta, Pir.L_group tb ->
+        if group_strings ta = group_strings tb then a
+        else Pir.L_causal (* incomparable groups: escalate *)
+      | _ -> a
+    else a
+  else b
+
+let infer_read (sr : Srace.t) (r : Summary.access) =
+  let actx = sr.Srace.actx in
+  match
+    List.fold_left
+      (fun acc inst ->
+        let l, p = infer_inst sr r inst in
+        match acc with
+        | None -> Some (l, p)
+        | Some (lbl, proof) ->
+          let j = join_label lbl l in
+          if strength j > strength lbl then Some (j, p)
+          else Some (lbl, proof))
+      None
+      (Summary.insts_of_role actx r.Summary.role)
+  with
+  | Some r -> r
+  | None -> (Pir.L_pram, "no instances")
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reads_of actx =
+  List.filter_map
+    (fun (a : Summary.access) ->
+      match a.Summary.kind with
+      | Summary.K_read l -> Some (a, l)
+      | _ -> None)
+    actx.Summary.summary.Summary.accesses
+
+let classify (sr : Srace.t) =
+  let actx = sr.Srace.actx in
+  let reads = reads_of actx in
+  if cor2_applies sr then
+    {
+      verdict = Corollary2;
+      verdict_proof =
+        "barrier-aligned, and every shared location is written at most \
+         once per phase and read in the writing phase only by its \
+         writer, after the write (Corollary 2): PRAM reads give SC at \
+         every parameter valuation";
+      failing = None;
+      reads =
+        List.map
+          (fun (r, declared) ->
+            {
+              racc = r;
+              declared;
+              inferred = Pir.L_pram;
+              rproof = "Corollary 2: the program keeps PRAM phases";
+            })
+          reads;
+    }
+  else if cor1_applies sr then
+    {
+      verdict = Corollary1;
+      verdict_proof =
+        "every shared base is guarded by a single lock discipline and \
+         every conflict is discharged (Corollary 1): causal reads of \
+         shared data give SC at every parameter valuation";
+      failing = None;
+      reads =
+        List.map
+          (fun (r, declared) ->
+            let shared =
+              Srace.shared_base actx r.Summary.loc.Pir.base
+            in
+            {
+              racc = r;
+              declared;
+              inferred = (if shared then Pir.L_causal else Pir.L_pram);
+              rproof =
+                (if shared then
+                   "Corollary 1: entry-consistent shared data needs \
+                    causal reads"
+                 else "private to one process");
+            })
+          reads;
+    }
+  else
+    let reports =
+      List.map
+        (fun (r, declared) ->
+          let inferred, rproof = infer_read sr r in
+          { racc = r; declared; inferred; rproof })
+        reads
+    in
+    if sr.Srace.races <> [] then
+      let p = List.hd sr.Srace.races in
+      {
+        verdict = Unproved "static races remain";
+        verdict_proof =
+          "a conflicting access pair has no ordering witness; no \
+           theorem of the paper applies";
+        failing = Some (p.Srace.pa.Summary.site, p.Srace.pb.Summary.site);
+        reads = reports;
+      }
+    else
+      match
+        List.find_opt
+          (fun rr ->
+            not (label_geq ~declared:rr.declared ~inferred:rr.inferred))
+          reports
+      with
+      | Some rr ->
+        {
+          verdict = Unproved "a read is under-labelled";
+          verdict_proof =
+            Printf.sprintf
+              "every conflict is ordered, but the read at %s declares \
+               %s where %s is required"
+              rr.racc.Summary.site
+              (Pir.label_to_string rr.declared)
+              (Pir.label_to_string rr.inferred);
+          failing = Some (rr.racc.Summary.site, rr.racc.Summary.site);
+          reads = reports;
+        }
+      | None ->
+        {
+          verdict = Theorem1;
+          verdict_proof =
+            "every conflicting pair is ordered by a witness and every \
+             declared label is at least the inferred requirement \
+             (Theorem 1)";
+          failing = None;
+          reads = reports;
+        }

@@ -1,0 +1,36 @@
+(** Theorem classification and weakest-label inference (ISSUE 6
+    tentpole, part 4b): proves a program SC by Corollary 2 (PRAM
+    phases), Corollary 1 (entry consistency) or Theorem 1 (mixed
+    labels), independent of process count and iteration bounds, and
+    infers the weakest sufficient label of every read — mirroring the
+    dynamic advisor's precedence so a static label is never weaker than
+    the advisor's schedule-dependent recommendation. *)
+
+type verdict = Corollary2 | Corollary1 | Theorem1 | Unproved of string
+
+val verdict_to_string : verdict -> string
+
+type read_report = {
+  racc : Summary.access;
+  declared : Pir.rlabel;
+  inferred : Pir.rlabel;
+  rproof : string;  (** one-line justification of the inferred label *)
+}
+
+type t = {
+  verdict : verdict;
+  verdict_proof : string;
+  failing : (string * string) option;  (** site pair behind [Unproved] *)
+  reads : read_report list;
+}
+
+val classify : Srace.t -> t
+
+(** {1 Label order} *)
+
+val strength : Pir.rlabel -> int
+
+(** [label_geq ~declared ~inferred]: the declared label validates
+    whatever the inferred one validates (groups compare by term-set
+    inclusion). *)
+val label_geq : declared:Pir.rlabel -> inferred:Pir.rlabel -> bool

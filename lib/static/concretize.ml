@@ -1,0 +1,242 @@
+(* Concretizer: compile a Pir program at concrete parameters into a real
+   [Mc_dsm.Runtime] execution, so every static verdict can be validated
+   differentially against the dynamic pipeline (Race / Advisor / Online).
+
+   Each recorded operation is logged with the site path of the statement
+   that issued it ([Pir.seg_of_stmt], the same traversal the Summary pass
+   uses), and the recorded history is zipped per process in invocation
+   order, yielding an op-id -> site map that lets tests compare dynamic
+   R001/R002/A00x findings with static S0xx findings site by site. *)
+
+module Op = Mc_history.Op
+module Config = Mc_dsm.Config
+module Runtime = Mc_dsm.Runtime
+module Api = Mc_dsm.Api
+
+type env = {
+  params : (string * int) list;
+  binders : (string * int) list;
+  proc : int;
+  role_ids : (string * int list) list;  (* role name -> sorted proc ids *)
+  inst_index : int;  (* index of this instance within its role *)
+  n_insts : int;  (* number of instances of this role *)
+}
+
+let rec eval env = function
+  | Pir.Int n -> n
+  | Pir.Param p -> (
+    match List.assoc_opt p env.params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Concretize: unknown parameter %s" p))
+  | Pir.Var v -> (
+    match List.assoc_opt v env.binders with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Concretize: unbound loop variable %s" v))
+  | Pir.Proc -> env.proc
+  | Pir.Add (a, b) -> eval env a + eval env b
+  | Pir.Sub (a, b) -> eval env a - eval env b
+  | Pir.Neg a -> -eval env a
+  | Pir.Mul (k, a) -> k * eval env a
+
+let eval_loc env (l : Pir.locpat) =
+  if l.index = [] then l.base
+  else
+    l.base ^ ":" ^ String.concat ":" (List.map (fun t -> string_of_int (eval env t)) l.index)
+
+let eval_label env = function
+  | Pir.L_pram -> Op.PRAM
+  | Pir.L_causal -> Op.Causal
+  | Pir.L_group ts ->
+    Op.Group (List.sort_uniq compare (List.map (eval env) ts))
+
+(* the block of [0, total) owned by instance [idx] of [n] (the same
+   partition as [Linear_solver.rows_of_worker]) *)
+let owned_block ~total ~n ~idx =
+  let per = total / n and extra = total mod n in
+  let lo = (idx * per) + min idx extra in
+  let hi = lo + per + (if idx < extra then 1 else 0) - 1 in
+  (lo, hi)
+
+(* ------------------------------------------------------------------ *)
+(* Role-range resolution                                               *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_roles (p : Pir.t) params =
+  let env0 =
+    { params; binders = []; proc = 0; role_ids = []; inst_index = 0; n_insts = 1 }
+  in
+  let role_ids =
+    List.map
+      (fun (r : Pir.role) ->
+        let ids =
+          match r.range with
+          | Pir.Single t -> [ eval env0 t ]
+          | Pir.Span { lo; hi } ->
+            let lo = eval env0 lo and hi = eval env0 hi in
+            if hi < lo then []
+            else List.init (hi - lo + 1) (fun i -> lo + i)
+        in
+        (r.rname, ids))
+      p.roles
+  in
+  let all = List.concat_map snd role_ids in
+  let sorted = List.sort_uniq compare all in
+  if List.length sorted <> List.length all then
+    invalid_arg "Concretize: overlapping role ranges";
+  let procs = match List.rev sorted with [] -> 0 | hi :: _ -> hi + 1 in
+  if sorted <> List.init procs (fun i -> i) then
+    invalid_arg "Concretize: role ranges must cover process ids 0..max contiguously";
+  (role_ids, procs)
+
+(* groups mentioned by group-labelled reads, for [Config.groups] *)
+let collect_groups (p : Pir.t) params role_ids =
+  let acc = ref [] in
+  let rec walk env body =
+    List.iter
+      (fun (s : Pir.stmt) ->
+        match s with
+        | Pir.Read { label = Pir.L_group ts; _ } ->
+          let g = List.sort_uniq compare (List.map (eval env) ts) in
+          if not (List.mem g !acc) then acc := g :: !acc
+        | Pir.Locked { body; _ }
+        | Pir.For { body; _ }
+        | Pir.For_owned { body; _ }
+        | Pir.For_procs { body; _ } ->
+          walk env body
+        | _ -> ())
+      body
+  in
+  List.iter
+    (fun (r : Pir.role) ->
+      let ids = List.assoc r.rname role_ids in
+      List.iteri
+        (fun idx proc ->
+          walk
+            { params; binders = []; proc; role_ids; inst_index = idx;
+              n_insts = List.length ids }
+            r.body)
+        ids)
+    p.roles;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* run one role instance, appending the site of every recorded operation
+   to [log] in issue order *)
+let exec_role (p : Pir.t) env (api : Api.t) log (r : Pir.role) =
+  let push site = log := site :: !log in
+  let rec block env path body =
+    List.iteri (fun i s -> stmt env (Pir.site_join path (Pir.seg_of_stmt i s)) s) body
+  and stmt env site (s : Pir.stmt) =
+    match s with
+    | Pir.Read { loc; label } ->
+      push site;
+      ignore (api.read ~label:(eval_label env label) (eval_loc env loc))
+    | Pir.Write { loc; value } ->
+      push site;
+      api.write (eval_loc env loc) (eval env value)
+    | Pir.Fetch_add { loc; delta } ->
+      let l = eval_loc env loc in
+      push (site ^ "/fa.r");
+      let v = api.read ~label:Op.Causal l in
+      push (site ^ "/fa.w");
+      api.write l (v + eval env delta)
+    | Pir.Await { loc; value } ->
+      push site;
+      api.await (eval_loc env loc) (eval env value)
+    | Pir.Barrier ->
+      push site;
+      api.barrier ()
+    | Pir.Compute c -> api.compute c
+    | Pir.Locked { lock; mode; body } ->
+      let l = eval_loc env lock in
+      push (site ^ "/acq");
+      (match mode with Pir.R -> api.read_lock l | Pir.W -> api.write_lock l);
+      block env site body;
+      push (site ^ "/rel");
+      (match mode with Pir.R -> api.read_unlock l | Pir.W -> api.write_unlock l)
+    | Pir.For { var; lo; hi; body } ->
+      let lo = eval env lo and hi = eval env hi in
+      for v = lo to hi do
+        block { env with binders = (var, v) :: env.binders } site body
+      done
+    | Pir.For_owned { var; total; body } ->
+      let total = eval env total in
+      let lo, hi = owned_block ~total ~n:env.n_insts ~idx:env.inst_index in
+      for v = lo to hi do
+        block { env with binders = (var, v) :: env.binders } site body
+      done
+    | Pir.For_procs { var; over; body } ->
+      let ids =
+        match List.assoc_opt over env.role_ids with
+        | Some ids -> ids
+        | None -> invalid_arg (Printf.sprintf "Concretize: unknown role %s" over)
+      in
+      List.iter
+        (fun v -> block { env with binders = (var, v) :: env.binders } site body)
+        ids
+  in
+  block env (Pir.site_join p.name r.rname) r.body
+
+type run = {
+  history : Mc_history.History.t;
+  procs : int;
+  sites : (int, string) Hashtbl.t;  (* op id -> issuing site path *)
+  online : Mc_consistency.Online.t option;
+  time : float;
+}
+
+let site_of run id = Hashtbl.find_opt run.sites id
+
+let run ?(propagation = Config.Lazy) ?(check_online = false) ?(params = [])
+    (p : Pir.t) =
+  let params =
+    List.map
+      (fun (d : Pir.param) ->
+        (d.pname, match List.assoc_opt d.pname params with Some v -> v | None -> d.default))
+      p.params
+  in
+  let role_ids, procs = resolve_roles p params in
+  let groups = collect_groups p params role_ids in
+  let engine = Mc_sim.Engine.create () in
+  let cfg =
+    { (Config.default ~procs) with propagation; record = true; check_online; groups }
+  in
+  let rt = Runtime.create engine cfg in
+  let logs = Array.make procs [] in
+  List.iter
+    (fun (r : Pir.role) ->
+      let ids = List.assoc r.rname role_ids in
+      let n_insts = List.length ids in
+      List.iteri
+        (fun idx proc ->
+          let log = ref [] in
+          Api.spawn rt proc (fun api ->
+              exec_role p
+                { params; binders = []; proc; role_ids; inst_index = idx; n_insts }
+                api log r;
+              logs.(proc) <- List.rev !log))
+        ids)
+    p.roles;
+  let time = Runtime.run rt in
+  let history = Runtime.history rt in
+  (* zip each process's recorded ops (in invocation order) with its log *)
+  let sites = Hashtbl.create 256 in
+  let per_proc = Array.make procs [] in
+  Array.iter
+    (fun (o : Op.t) -> per_proc.(o.Op.proc) <- (o.Op.inv_seq, o.Op.id) :: per_proc.(o.Op.proc))
+    (Mc_history.History.ops history);
+  Array.iteri
+    (fun proc entries ->
+      let entries = List.sort compare entries in
+      let log = logs.(proc) in
+      if List.length entries <> List.length log then
+        failwith
+          (Printf.sprintf
+             "Concretize: process %d recorded %d operations but logged %d sites"
+             proc (List.length entries) (List.length log));
+      List.iter2 (fun (_, id) site -> Hashtbl.replace sites id site) entries log)
+    per_proc;
+  { history; procs; sites; online = Runtime.online_checker rt; time }

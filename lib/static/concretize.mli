@@ -1,0 +1,35 @@
+(** Concretizer: compile a {!Pir.t} at concrete parameters into a real
+    [Mc_dsm.Runtime] execution (ISSUE 6 tentpole, differential leg).
+
+    Every recorded operation is tagged with the site path of the
+    statement that issued it — the same [Pir.seg_of_stmt] traversal the
+    static passes use — so dynamic findings (R001/R002/A00x, keyed by op
+    id) and static findings (S0xx, keyed by site) can be compared
+    exactly. *)
+
+type run = {
+  history : Mc_history.History.t;
+  procs : int;
+  sites : (int, string) Hashtbl.t;  (** op id -> issuing site path *)
+  online : Mc_consistency.Online.t option;
+  time : float;  (** simulated completion time *)
+}
+
+val site_of : run -> int -> string option
+
+(** [run p] executes [p] on the mixed runtime with recording on.
+    [params] overrides program parameter defaults; group-labelled reads
+    are collected into [Config.groups] automatically. Raises
+    [Invalid_argument] on non-contiguous or overlapping role ranges and
+    [Failure] if the recorded history and the site log disagree (a
+    concretizer bug by construction). *)
+val run :
+  ?propagation:Mc_dsm.Config.propagation ->
+  ?check_online:bool ->
+  ?params:(string * int) list ->
+  Pir.t ->
+  run
+
+(** The block of [0, total) owned by instance [idx] of [n] — the same
+    partition as [Linear_solver.rows_of_worker]. *)
+val owned_block : total:int -> n:int -> idx:int -> int * int

@@ -1,0 +1,140 @@
+(* The program intermediate representation of Mc_static.
+
+   A [t] is a parameterized, data-independent program: control flow
+   (sequencing, counted loops, barrier phases, lock regions) depends only
+   on the parameters, never on values read from memory, so one symbolic
+   analysis covers every concretization. Programs are organized into
+   roles; a role is instantiated once per process id in its range. The
+   three Section-5 applications are expressed in this IR in
+   [Mc_apps.Static_models]. *)
+
+type term =
+  | Int of int
+  | Param of string
+  | Var of string  (* an enclosing loop binder *)
+  | Proc  (* the process id executing the role instance *)
+  | Add of term * term
+  | Sub of term * term
+  | Neg of term
+  | Mul of int * term
+
+type locpat = { base : string; index : term list }
+
+type rlabel = L_pram | L_causal | L_group of term list
+
+type lock_mode = R | W
+
+type stmt =
+  | Read of { loc : locpat; label : rlabel }
+  | Write of { loc : locpat; value : term }
+  | Fetch_add of { loc : locpat; delta : term }
+      (* read [loc] then write the value plus [delta], the Section-5.3
+         counter idiom; concretized as a read/write pair (Fig. 5 style) *)
+  | Await of { loc : locpat; value : term }
+  | Barrier
+  | Locked of { lock : locpat; mode : lock_mode; body : stmt list }
+  | For of { var : string; lo : term; hi : term; body : stmt list }
+      (* counted loop, inclusive bounds *)
+  | For_owned of { var : string; total : term; body : stmt list }
+      (* [var] ranges over this instance's block of [0, total): the
+         blocks partition the index space across the instances of the
+         enclosing role, so same-loop accesses of different instances
+         are disjoint by construction *)
+  | For_procs of { var : string; over : string; body : stmt list }
+      (* [var] ranges over the process ids of the instances of role
+         [over] *)
+  | Compute of float
+
+type range = Single of term | Span of { lo : term; hi : term }
+
+type role = { rname : string; range : range; body : stmt list }
+
+type param = { pname : string; default : int; min : int }
+
+type t = { name : string; params : param list; roles : role list }
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let loc base index = { base; index }
+let loc0 base = { base; index = [] }
+let read ?(label = L_causal) l = Read { loc = l; label }
+let write l v = Write { loc = l; value = v }
+let fetch_add l delta = Fetch_add { loc = l; delta }
+let await l v = Await { loc = l; value = v }
+let bar = Barrier
+let locked ?(mode = W) lock body = Locked { lock; mode; body }
+let for_ var lo hi body = For { var; lo; hi; body }
+let for_owned var total body = For_owned { var; total; body }
+let for_procs var over body = For_procs { var; over; body }
+let compute c = Compute c
+let param ?(min = 1) pname default = { pname; default; min }
+
+(* ------------------------------------------------------------------ *)
+(* Site paths                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_to_string = function
+  | Int n -> string_of_int n
+  | Param p -> p
+  | Var v -> v
+  | Proc -> "p"
+  | Add (a, b) -> term_to_string a ^ "+" ^ term_to_string b
+  | Sub (a, b) -> term_to_string a ^ "-" ^ term_to_string b
+  | Neg a -> "-" ^ term_to_string a
+  | Mul (k, a) -> string_of_int k ^ "*" ^ term_to_string a
+
+let locpat_to_string l =
+  if l.index = [] then l.base
+  else l.base ^ "[" ^ String.concat "," (List.map term_to_string l.index) ^ "]"
+
+let label_to_string = function
+  | L_pram -> "pram"
+  | L_causal -> "causal"
+  | L_group ts ->
+    "group{" ^ String.concat "," (List.map term_to_string ts) ^ "}"
+
+(* The site path of a statement: program/role/segments, each segment an
+   index-prefixed structural step, e.g. [solver/worker/2.for[t]/4.w(x[r])].
+   [Summary] and [Concretize] traverse statements with the same helper so
+   static findings and recorded operations meet on identical paths. *)
+let seg_of_stmt i = function
+  | Read { loc; _ } -> Printf.sprintf "%d.r(%s)" i (locpat_to_string loc)
+  | Write { loc; _ } -> Printf.sprintf "%d.w(%s)" i (locpat_to_string loc)
+  | Fetch_add { loc; _ } -> Printf.sprintf "%d.fa(%s)" i (locpat_to_string loc)
+  | Await { loc; _ } -> Printf.sprintf "%d.await(%s)" i (locpat_to_string loc)
+  | Barrier -> Printf.sprintf "%d.bar" i
+  | Locked { lock; _ } -> Printf.sprintf "%d.lk(%s)" i (locpat_to_string lock)
+  | For { var; _ } -> Printf.sprintf "%d.for[%s]" i var
+  | For_owned { var; _ } -> Printf.sprintf "%d.own[%s]" i var
+  | For_procs { var; _ } -> Printf.sprintf "%d.procs[%s]" i var
+  | Compute _ -> Printf.sprintf "%d.compute" i
+
+let site_join path seg = path ^ "/" ^ seg
+
+(* ------------------------------------------------------------------ *)
+(* Structural queries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmts_contain p body =
+  List.exists
+    (fun s ->
+      p s
+      ||
+      match s with
+      | Locked { body; _ } | For { body; _ } | For_owned { body; _ }
+      | For_procs { body; _ } ->
+        stmts_contain p body
+      | _ -> false)
+    body
+
+let contains_await body =
+  stmts_contain (function Await _ -> true | _ -> false) body
+
+let contains_barrier body =
+  stmts_contain (function Barrier -> true | _ -> false) body
+
+let default_params t = List.map (fun p -> (p.pname, p.default)) t.params
+
+let find_role t name = List.find (fun r -> r.rname = name) t.roles

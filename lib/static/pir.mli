@@ -1,0 +1,103 @@
+(** The program IR of [Mc_static] (ISSUE 6 tentpole, part 1).
+
+    A {!t} is a parameterized, {e data-independent} program: control flow
+    — sequencing, counted loops, barrier phases, lock-guarded regions —
+    depends only on the parameters, never on values read from memory, so
+    a single symbolic analysis covers every concretization. Programs are
+    organized into {e roles}; a role is instantiated once per process id
+    in its range ([Single] roles once, [Span] roles per id in an
+    inclusive interval). Reads and writes address {e location patterns}
+    ([x\[i\]], [row(p)]) whose indices are affine terms over parameters,
+    loop binders and the executing process id.
+
+    The three Section-5 applications are re-expressed in this IR in
+    [Mc_apps.Static_models]; {!Concretize} compiles a program at concrete
+    parameters into a real runtime execution for differential
+    validation. *)
+
+type term =
+  | Int of int
+  | Param of string
+  | Var of string  (** an enclosing loop binder *)
+  | Proc  (** the process id executing the role instance *)
+  | Add of term * term
+  | Sub of term * term
+  | Neg of term
+  | Mul of int * term
+
+type locpat = { base : string; index : term list }
+
+(** Declared read label, mirroring [Mc_history.Op.label] symbolically:
+    a group is a list of process-id terms. *)
+type rlabel = L_pram | L_causal | L_group of term list
+
+type lock_mode = R | W
+
+type stmt =
+  | Read of { loc : locpat; label : rlabel }
+  | Write of { loc : locpat; value : term }
+  | Fetch_add of { loc : locpat; delta : term }
+      (** read [loc] then write the value plus [delta] — the Section-5.3
+          counter idiom, concretized as a read/write pair (Fig. 5) *)
+  | Await of { loc : locpat; value : term }
+  | Barrier
+  | Locked of { lock : locpat; mode : lock_mode; body : stmt list }
+  | For of { var : string; lo : term; hi : term; body : stmt list }
+      (** counted loop, inclusive bounds *)
+  | For_owned of { var : string; total : term; body : stmt list }
+      (** [var] ranges over this instance's block of [0, total); the
+          blocks partition the index space across the instances of the
+          enclosing role, making same-loop accesses of different
+          instances disjoint by construction *)
+  | For_procs of { var : string; over : string; body : stmt list }
+      (** [var] ranges over the process ids of the instances of role
+          [over] *)
+  | Compute of float
+
+type range = Single of term | Span of { lo : term; hi : term }
+
+type role = { rname : string; range : range; body : stmt list }
+
+type param = { pname : string; default : int; min : int }
+
+type t = { name : string; params : param list; roles : role list }
+
+(** {1 Builders} *)
+
+val loc : string -> term list -> locpat
+val loc0 : string -> locpat
+val read : ?label:rlabel -> locpat -> stmt
+val write : locpat -> term -> stmt
+val fetch_add : locpat -> term -> stmt
+val await : locpat -> term -> stmt
+val bar : stmt
+val locked : ?mode:lock_mode -> locpat -> stmt list -> stmt
+val for_ : string -> term -> term -> stmt list -> stmt
+val for_owned : string -> term -> stmt list -> stmt
+val for_procs : string -> string -> stmt list -> stmt
+val compute : float -> stmt
+val param : ?min:int -> string -> int -> param
+
+(** {1 Site paths}
+
+    The site path of a statement is [program/role/segments], each segment
+    an index-prefixed structural step (e.g.
+    [solver/worker/2.for\[t\]/4.w(x\[r\])]). [Summary] and [Concretize]
+    traverse statements through the same helpers, so static findings and
+    recorded operations meet on identical paths. *)
+
+val term_to_string : term -> string
+val locpat_to_string : locpat -> string
+val label_to_string : rlabel -> string
+
+(** Path segment of the [i]-th statement of a block. *)
+val seg_of_stmt : int -> stmt -> string
+
+val site_join : string -> string -> string
+
+(** {1 Structural queries} *)
+
+val contains_await : stmt list -> bool
+val contains_barrier : stmt list -> bool
+val default_params : t -> (string * int) list
+val find_role : t -> string -> role

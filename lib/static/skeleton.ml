@@ -1,0 +1,452 @@
+(* Sync skeletons: a symbolic happens-before summary built from the
+   program's await/handshake structure, parametric in process count and
+   iteration bounds (ISSUE 6 tentpole, part 3).
+
+   The skeleton instantiates each role at its generic instances (one per
+   singleton role, two provably-distinct instances per span role) and
+   unrolls every top-level await-containing loop over a window of
+   [window] iterations based at a symbolic iteration [τ] — so one graph
+   stands for every concretization. Nodes carry resolved symbolic
+   locations and values; edges are
+
+     - program order, computed structurally (two nodes of one instance
+       compare by unrolled iteration, then by pre-order position, and are
+       incomparable under a shared unresolved loop binder), and
+     - await edges [W → A]: added only when W is provably the {e unique}
+       write that can supply A's awaited value — every other candidate
+       write is refuted by location unification, value arithmetic or
+       bound reasoning — mirroring the dynamic [await_order] relation.
+
+   A conflicting pair is proved ordered for {e all} iterations by the
+   grid-lifting rule: within one loop group, the boundary offsets
+   ±(window-1) must be ordered in the outward direction (so program-order
+   tails extend the witness to every farther offset), and every nearer
+   offset must be ordered in some direction. Reachability is restricted
+   to the iteration interval spanned by the endpoints, so a witness never
+   routes through iterations that a small concretization lacks. *)
+
+let window = 3
+
+type node = {
+  nid : int;
+  inst : Summary.inst;
+  acc : Summary.access;
+  k : int;  (* unrolled copy within the window; 0 outside sync loops *)
+  fp : (string * Sym.t) list;  (* For_procs binder site -> process term *)
+  group : int option;  (* alignment group of the enclosing sync loop *)
+  nloc : Sym.t list option;  (* None when under an unresolved binder *)
+  nvalue : Sym.t option;
+}
+
+type t = {
+  actx : Summary.actx;
+  nodes : node array;
+  by_acc : (string * int, int list) Hashtbl.t;  (* (inst key, aid) -> nids *)
+  await_succ : (int, int list) Hashtbl.t;  (* writer nid -> await nids *)
+  await_pred : (int, int) Hashtbl.t;  (* await nid -> supplying writer nid *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Alignment groups of top-level sync loops                            *)
+(* ------------------------------------------------------------------ *)
+
+type group_info = {
+  gid : int;
+  glo : Sym.t;
+  ghi : Sym.t;
+  tau : Sym.t;
+  gpos : int;  (* position among the role's top-level sync loops *)
+}
+
+(* [lo]/[hi] of a top-level loop may mention only parameters; anything
+   else (including the process id) disqualifies the loop from windowed
+   unrolling and its accesses stay conservative single nodes *)
+let param_only_sym t =
+  try
+    let dummy = Sym.Avar min_int in
+    let s = Summary.sym_of_term ~binders:[] ~proc:(Sym.atom dummy) t in
+    if List.mem dummy (Sym.atoms s) then None else Some s
+  with Invalid_argument _ -> None
+
+let build_groups (actx : Summary.actx) =
+  let prog = actx.summary.prog in
+  let table : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let defs = ref [] in
+  let next = ref 0 in
+  List.iter
+    (fun (r : Pir.role) ->
+      let base = Pir.site_join prog.name r.rname in
+      let pos = ref 0 in
+      List.iteri
+        (fun i (s : Pir.stmt) ->
+          match s with
+          | Pir.For { lo; hi; body; _ } when Pir.contains_await body -> (
+            let bsite = Pir.site_join base (Pir.seg_of_stmt i s) in
+            let n = !pos in
+            incr pos;
+            match (param_only_sym lo, param_only_sym hi) with
+            | Some lo_s, Some hi_s -> (
+              (* join the n-th sync loop of an earlier role when the
+                 bounds provably coincide; otherwise open a new group *)
+              match
+                List.find_opt
+                  (fun g ->
+                    g.gpos = n && Sym.must_equal g.glo lo_s
+                    && Sym.must_equal g.ghi hi_s)
+                  !defs
+              with
+              | Some g -> Hashtbl.replace table (r.rname, bsite) g.gid
+              | None ->
+                let tau_atom = Sym.fresh_iter actx.ctx in
+                Sym.set_bounds actx.ctx tau_atom
+                  ( fst (Sym.eval_bounds actx.ctx lo_s),
+                    Option.map
+                      (fun h -> h - (window - 1))
+                      (snd (Sym.eval_bounds actx.ctx hi_s)) );
+                let g =
+                  { gid = !next; glo = lo_s; ghi = hi_s;
+                    tau = Sym.atom tau_atom; gpos = n }
+                in
+                incr next;
+                defs := g :: !defs;
+                Hashtbl.replace table (r.rname, bsite) g.gid)
+            | _ -> ())
+          | _ -> ())
+        r.body)
+    prog.roles;
+  (table, !defs)
+
+(* ------------------------------------------------------------------ *)
+(* Nodes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+    let tails = cartesian rest in
+    List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let build (actx : Summary.actx) =
+  let groups, defs = build_groups actx in
+  let tau_of gid = (List.find (fun g -> g.gid = gid) defs).tau in
+  let nodes = ref [] in
+  let by_acc = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun (inst : Summary.inst) ->
+      let ri =
+        List.find
+          (fun (r : Summary.role_info) -> r.rname = inst.irole)
+          actx.summary.roles
+      in
+      List.iter
+        (fun (a : Summary.access) ->
+          let group =
+            match a.binders with
+            | b0 :: _ -> Hashtbl.find_opt groups (inst.irole, b0.bsite)
+            | [] -> None
+          in
+          let ks =
+            match group with
+            | Some _ -> List.init window (fun k -> k)
+            | None -> [ 0 ]
+          in
+          let fp_choices =
+            List.filter_map
+              (fun (b : Summary.binder) ->
+                match b.bkind with
+                | Summary.B_procs { over } ->
+                  Some
+                    (List.map
+                       (fun (oi : Summary.inst) -> (b.bsite, oi.iproc))
+                       (Summary.insts_of_role actx over))
+                | _ -> None)
+              a.binders
+          in
+          List.iter
+            (fun k ->
+              List.iter
+                (fun fp ->
+                  let binders =
+                    List.filter_map
+                      (fun (b : Summary.binder) ->
+                        match b.bkind with
+                        | Summary.B_procs _ ->
+                          Option.map
+                            (fun v -> (b.bvar, v))
+                            (List.assoc_opt b.bsite fp)
+                        | _ -> (
+                          match (group, a.binders) with
+                          | Some gid, b0 :: _ when b0.bsite = b.bsite ->
+                            Some
+                              (b.bvar, Sym.add (tau_of gid) (Sym.const k))
+                          | _ -> None))
+                      a.binders
+                  in
+                  let resolve t =
+                    try
+                      Some
+                        (Summary.sym_of_term ~binders ~proc:inst.iproc t)
+                    with Invalid_argument _ -> None
+                  in
+                  let nloc =
+                    let rs = List.map resolve a.loc.Pir.index in
+                    if List.for_all Option.is_some rs then
+                      Some (List.map Option.get rs)
+                    else None
+                  in
+                  let nvalue = Option.map resolve a.value in
+                  let nvalue = Option.join nvalue in
+                  let nid = !next in
+                  incr next;
+                  let n =
+                    { nid; inst; acc = a; k; fp; group; nloc; nvalue }
+                  in
+                  nodes := n :: !nodes;
+                  let key = (Summary.inst_key inst, a.aid) in
+                  Hashtbl.replace by_acc key
+                    (nid
+                    :: Option.value ~default:[]
+                         (Hashtbl.find_opt by_acc key)))
+                (cartesian fp_choices))
+            ks)
+        ri.accesses)
+    actx.insts;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let t =
+    { actx; nodes; by_acc; await_succ = Hashtbl.create 32;
+      await_pred = Hashtbl.create 32 }
+  in
+  (* ---------------- await edges: unique-supplier analysis ---------- *)
+  let ctx = actx.ctx in
+  Array.iter
+    (fun (a_node : node) ->
+      if Summary.is_await a_node.acc then
+        match (a_node.nloc, a_node.nvalue) with
+        | Some aloc, Some aval when Sym.definitely_nonzero ctx aval ->
+          (* the awaited value must differ from the initial store value
+             (0): otherwise the await may complete with no writer at all *)
+          let candidates = ref [] in
+          let ambiguous = ref false in
+          List.iter
+            (fun (w : Summary.access) ->
+              if
+                Summary.is_write w
+                && w.loc.Pir.base = a_node.acc.loc.Pir.base
+                && List.length w.loc.Pir.index = List.length aloc
+              then
+                List.iter
+                  (fun (iw : Summary.inst) ->
+                    let xw = Summary.instantiate actx w iw in
+                    let eqs = List.map2 Sym.sub xw.iloc aloc in
+                    let eqs =
+                      match (w.kind, xw.ivalue) with
+                      | Summary.K_write, Some v ->
+                        Some (Sym.sub v aval :: eqs)
+                      | Summary.K_fa_write, _ -> None  (* value unknown *)
+                      | _, _ -> Some eqs
+                    in
+                    match eqs with
+                    | None ->
+                      if Sym.satisfiable ctx (List.map2 Sym.sub xw.iloc aloc)
+                      then ambiguous := true
+                    | Some eqs -> (
+                      match Sym.solve ctx eqs with
+                      | Sym.Unsat -> ()
+                      | Sym.Sat sol -> (
+                        (* resolve the matching write to one window node:
+                           its sync iteration and every For_procs binder
+                           must be forced; anything looser is ambiguous *)
+                        try
+                          let kw, rest =
+                            match (w.binders, xw.ibinders) with
+                            | b0 :: rest, (bs0, atom0) :: _
+                              when Hashtbl.mem groups (iw.irole, b0.bsite)
+                            -> (
+                              assert (bs0 = b0.bsite);
+                              let gid =
+                                Hashtbl.find groups (iw.irole, b0.bsite)
+                              in
+                              let r =
+                                Sym.reduce sol (Sym.atom atom0)
+                              in
+                              let d = Sym.sub r (tau_of gid) in
+                              match Sym.const_value d with
+                              | Some kw when 0 <= kw && kw < window ->
+                                (kw, rest)
+                              | _ -> raise Exit)
+                            | bs, _ -> (0, bs)
+                          in
+                          let fp =
+                            List.map
+                              (fun (b : Summary.binder) ->
+                                match b.bkind with
+                                | Summary.B_procs { over } -> (
+                                  let atom =
+                                    List.assoc b.bsite xw.ibinders
+                                  in
+                                  let r =
+                                    Sym.reduce sol (Sym.atom atom)
+                                  in
+                                  match
+                                    List.find_opt
+                                      (fun (oi : Summary.inst) ->
+                                        Sym.must_equal oi.iproc r)
+                                      (Summary.insts_of_role actx over)
+                                  with
+                                  | Some oi -> (b.bsite, oi.iproc)
+                                  | None -> raise Exit)
+                                | _ -> raise Exit)
+                              rest
+                          in
+                          candidates :=
+                            (Summary.inst_key iw, w.aid, kw, fp)
+                            :: !candidates
+                        with Exit -> ambiguous := true)))
+                  (Summary.insts_of_role actx w.role))
+            actx.summary.accesses;
+          (match (!ambiguous, !candidates) with
+          | false, [ (ikey, aid, kw, fp) ] -> (
+            let nids =
+              Option.value ~default:[]
+                (Hashtbl.find_opt by_acc (ikey, aid))
+            in
+            let matches (n : node) =
+              n.k = kw
+              && List.for_all
+                   (fun (bs, p) ->
+                     match List.assoc_opt bs n.fp with
+                     | Some q -> Sym.must_equal p q
+                     | None -> false)
+                   fp
+              && List.length n.fp = List.length fp
+            in
+            match
+              List.find_opt (fun nid -> matches nodes.(nid)) nids
+            with
+            | Some w_nid ->
+              Hashtbl.replace t.await_succ w_nid
+                (a_node.nid
+                :: Option.value ~default:[]
+                     (Hashtbl.find_opt t.await_succ w_nid));
+              Hashtbl.replace t.await_pred a_node.nid w_nid
+            | None -> ())
+          | _ -> ())
+        | _ -> ())
+    nodes;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Program order between nodes of one instance                         *)
+(* ------------------------------------------------------------------ *)
+
+let po_before (x : node) (y : node) =
+  x.nid <> y.nid
+  && Summary.inst_key x.inst = Summary.inst_key y.inst
+  &&
+  let rec walk bxs bys =
+    match (bxs, bys) with
+    | ( (bx : Summary.binder) :: rx,
+        (by_ : Summary.binder) :: ry )
+      when bx.bsite = by_.bsite -> (
+      match bx.bkind with
+      | Summary.B_procs _ -> (
+        match
+          (List.assoc_opt bx.bsite x.fp, List.assoc_opt by_.bsite y.fp)
+        with
+        | Some a, Some b when Sym.must_equal a b -> walk rx ry
+        | _ -> false)
+      | _ -> false (* shared unresolved loop: iterations interleave *))
+    | _ -> x.acc.pos < y.acc.pos
+  in
+  match (x.acc.binders, y.acc.binders) with
+  | b0x :: rx, b0y :: ry
+    when b0x.bsite = b0y.bsite && x.group <> None && x.group = y.group ->
+    if x.k <> y.k then x.k < y.k else walk rx ry
+  | bx, by_ -> walk bx by_
+
+(* ------------------------------------------------------------------ *)
+(* Reachability and the ordering query                                 *)
+(* ------------------------------------------------------------------ *)
+
+let reachable t ~kmin ~kmax ~filter (src : node) (dst : node) =
+  let n = Array.length t.nodes in
+  let allowed (m : node) =
+    m.group = None || (m.k >= kmin && m.k <= kmax)
+  in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add src.nid queue;
+  visited.(src.nid) <- true;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let cur = t.nodes.(Queue.pop queue) in
+    if cur.nid = dst.nid then found := true
+    else begin
+      Array.iter
+        (fun m ->
+          if (not visited.(m.nid)) && allowed m && po_before cur m then begin
+            visited.(m.nid) <- true;
+            Queue.add m.nid queue
+          end)
+        t.nodes;
+      List.iter
+        (fun anid ->
+          let m = t.nodes.(anid) in
+          if
+            (not visited.(anid)) && allowed m
+            && filter cur.inst.Summary.iproc m.inst.Summary.iproc
+          then begin
+            visited.(anid) <- true;
+            Queue.add anid queue
+          end)
+        (Option.value ~default:[]
+           (Hashtbl.find_opt t.await_succ cur.nid))
+    end
+  done;
+  !found || visited.(dst.nid)
+
+let nodes_of t (inst : Summary.inst) (a : Summary.access) =
+  List.map
+    (fun nid -> t.nodes.(nid))
+    (Option.value ~default:[]
+       (Hashtbl.find_opt t.by_acc (Summary.inst_key inst, a.aid)))
+
+let may_collide t (x : node) (y : node) =
+  match (x.nloc, y.nloc) with
+  | Some lx, Some ly when List.length lx = List.length ly ->
+    Sym.satisfiable t.actx.Summary.ctx (List.map2 Sym.sub lx ly)
+  | _ -> true
+
+let ordered t ?(filter = fun _ _ -> true) (a : Summary.access)
+    (ia : Summary.inst) (b : Summary.access) (ib : Summary.inst) =
+  let na = nodes_of t ia a and nb = nodes_of t ib b in
+  na <> [] && nb <> []
+  && List.for_all
+       (fun x ->
+         List.for_all
+           (fun y ->
+             match (x.group, y.group) with
+             | Some gx, Some gy when gx = gy ->
+               let d = y.k - x.k in
+               let kmin = min x.k y.k and kmax = max x.k y.k in
+               (* boundary offsets are required unconditionally: their
+                  outward witnesses extend by program-order tails to
+                  every farther offset, colliding or not *)
+               if d = window - 1 then reachable t ~kmin ~kmax ~filter x y
+               else if d = -(window - 1) then
+                 reachable t ~kmin ~kmax ~filter y x
+               else
+                 (not (may_collide t x y))
+                 || reachable t ~kmin ~kmax ~filter x y
+                 || reachable t ~kmin ~kmax ~filter y x
+             | Some _, Some _ -> false (* unaligned loop groups *)
+             | _ ->
+               (not (may_collide t x y))
+               || reachable t ~kmin:0 ~kmax:(window - 1) ~filter x y
+               || reachable t ~kmin:0 ~kmax:(window - 1) ~filter y x)
+           nb)
+       na
+
+let await_edge_count t =
+  Hashtbl.fold (fun _ succs acc -> acc + List.length succs) t.await_succ 0

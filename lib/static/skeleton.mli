@@ -1,0 +1,37 @@
+(** Sync skeletons (ISSUE 6 tentpole, part 3): a symbolic happens-before
+    summary derived from the program's await/handshake structure,
+    parametric in process count and iteration bounds.
+
+    Top-level await-containing loops are unrolled over a window of
+    {!window} iterations based at a symbolic iteration, roles are
+    instantiated at their generic instances, and await edges are added
+    only from a provably {e unique} supplying write (mirroring the
+    dynamic [await_order]). {!ordered} then proves a conflicting pair
+    ordered for {e all} parameters via the grid-lifting rule: boundary
+    window offsets must be ordered outward — extendable by program-order
+    tails — and nearer offsets in some direction. *)
+
+val window : int
+
+type node
+
+type t
+
+val build : Summary.actx -> t
+
+(** [ordered t ?filter a ia b ib]: every dynamic occurrence pair of
+    access [a] (on instance [ia]) and [b] (on [ib]) is happens-before
+    ordered, in every execution and at every parameter valuation.
+    [filter] restricts usable await edges by the two endpoint process
+    terms (used for group-visibility label inference); program order
+    always passes. *)
+val ordered :
+  t ->
+  ?filter:(Sym.t -> Sym.t -> bool) ->
+  Summary.access ->
+  Summary.inst ->
+  Summary.access ->
+  Summary.inst ->
+  bool
+
+val await_edge_count : t -> int

@@ -1,0 +1,316 @@
+(* The static race detector (ISSUE 6 tentpole, part 4a).
+
+   Every conflicting access pair that can collide on a concrete location
+   at some parameter valuation must be proved happens-before ordered in
+   every execution, or it is reported as a static race (S001). Ordering
+   witnesses are tried from cheapest to most precise:
+
+   - [W_phase]: the accesses provably sit in different barrier phases of
+     a barrier-aligned program whenever their locations collide, so the
+     global barrier chain orders each occurrence pair.
+   - [W_lock]: both sides hold the same concrete lock (indices forced
+     equal by the location unifier) with at least one side in [W] mode,
+     so their critical sections are serialized.
+   - [W_gate]: an await against a write serialized by a consistent
+     [W]-lock discipline over the awaited base; the await only proceeds
+     on the gated terminal value, so it is ordered after every gating
+     epoch. This is the one assumption-bearing rule (S007): the awaited
+     value being terminal is taken from the program structure, not
+     proved, and is validated differentially.
+   - [W_skeleton]: the await-handshake skeleton proves every occurrence
+     pair ordered at every parameter valuation ({!Skeleton.ordered}).
+
+   The detector is a sound over-approximation: a pair with no witness is
+   [W_unordered] even if some scheduler happens to order it, so every
+   dynamic R001 at any concretization has a static S001 counterpart.
+
+   The same module hosts the must-lockset discipline check behind S002
+   (the static mirror of the dynamic Eraser-style R002): a shared,
+   modified base is covered when one lock base guards every non-await
+   access with sufficient mode and provably identical indices whenever
+   two accesses collide. *)
+
+type witness =
+  | W_phase
+  | W_lock of string
+  | W_gate
+  | W_skeleton
+  | W_unordered
+
+let witness_to_string = function
+  | W_phase -> "barrier phase"
+  | W_lock l -> Printf.sprintf "lock %s" l
+  | W_gate -> "gated await"
+  | W_skeleton -> "sync skeleton"
+  | W_unordered -> "unordered"
+
+type pair = {
+  pa : Summary.access;
+  pia : Summary.inst;
+  pb : Summary.access;
+  pib : Summary.inst;
+  pwitness : witness;
+}
+
+type t = {
+  actx : Summary.actx;
+  skel : Skeleton.t;
+  aligned : bool;
+  pairs : pair list;
+  races : pair list;
+  uncovered : string list;
+  gate_sites : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Witness rules                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let forced_eqs ctx eqs diffs =
+  List.for_all (fun d -> Sym.forced_zero_given ctx eqs d) diffs
+
+(* both sides hold the same concrete lock, not both in read mode *)
+let lock_witness actx eqs (x : Summary.iaccess) (y : Summary.iaccess) =
+  let ctx = actx.Summary.ctx in
+  List.find_map
+    (fun (bx, ix, mx) ->
+      List.find_map
+        (fun (by, iy, my) ->
+          if
+            bx = by
+            && List.length ix = List.length iy
+            && not (mx = Pir.R && my = Pir.R)
+            && forced_eqs ctx eqs (List.map2 Sym.sub ix iy)
+          then Some bx
+          else None)
+        y.Summary.ilocks)
+    x.Summary.ilocks
+
+(* [gate_witness]: [aw] is an await on some base, [w] a write to it that
+   can collide ([eqs_w]). The await is ordered after [w] when [w] holds
+   a [W] lock and every other write that can collide with the same await
+   occurrence holds a [W] lock on the same base with indices forced
+   equal under the combined unifier — i.e. all writes to the awaited
+   concrete location are serialized by one concrete lock, and the await
+   completes only after the terminal epoch (assumption S007). *)
+let gate_witness actx eqs_w (aw : Summary.iaccess) (w : Summary.iaccess) =
+  let ctx = actx.Summary.ctx in
+  let base = aw.Summary.acc.Summary.loc.Pir.base in
+  List.exists
+    (fun (lb, li, m) ->
+      m = Pir.W
+      && List.for_all
+           (fun (w' : Summary.access) ->
+             if (not (Summary.is_write w')) || w'.Summary.loc.Pir.base <> base
+             then true
+             else
+               List.for_all
+                 (fun inst' ->
+                   let iw' = Summary.instantiate actx w' inst' in
+                   match Summary.loc_eqs aw iw' with
+                   | None -> true
+                   | Some eqs' ->
+                     let combined = eqs_w @ eqs' in
+                     (not (Sym.satisfiable ctx combined))
+                     || List.exists
+                          (fun (lb', li', m') ->
+                            lb' = lb && m' = Pir.W
+                            && List.length li' = List.length li
+                            && forced_eqs ctx combined
+                                 (List.map2 Sym.sub li li'))
+                          iw'.Summary.ilocks)
+                 (Summary.insts_of_role actx w'.Summary.role))
+           actx.Summary.summary.Summary.accesses)
+    w.Summary.ilocks
+
+let witness_of actx skel ~aligned (a : Summary.access) ia
+    (b : Summary.access) ib =
+  let ctx = actx.Summary.ctx in
+  let xa = Summary.instantiate actx a ia in
+  let xb = Summary.instantiate actx b ib in
+  match Summary.loc_eqs xa xb with
+  | None -> None (* bases or arities never match: no conflict *)
+  | Some eqs ->
+    if not (Sym.satisfiable ctx eqs) then None
+    else if
+      aligned
+      && Sym.nonzero_given ctx eqs
+           (Sym.sub xa.Summary.iphase xb.Summary.iphase)
+    then Some W_phase
+    else (
+      match lock_witness actx eqs xa xb with
+      | Some l -> Some (W_lock l)
+      | None ->
+        let gated =
+          if Summary.is_await a && Summary.is_write b then
+            gate_witness actx eqs xa xb
+          else if Summary.is_await b && Summary.is_write a then
+            gate_witness actx (List.map Sym.neg eqs) xb xa
+          else false
+        in
+        if gated then Some W_gate
+        else if
+          Skeleton.ordered skel a ia b ib || Skeleton.ordered skel b ib a ia
+        then Some W_skeleton
+        else Some W_unordered)
+
+(* ------------------------------------------------------------------ *)
+(* Lockset discipline (S002)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accesses_of_base actx base =
+  List.filter
+    (fun (a : Summary.access) ->
+      a.Summary.loc.Pir.base = base && not (Summary.is_await a))
+    actx.Summary.summary.Summary.accesses
+
+(* instance pairs whose collisions matter for lock-index agreement:
+   cross-instance pairs plus the same-instance pair (two loop iterations
+   of one process can reach the same location and must then agree too,
+   since the dynamic candidate set intersects over every access) *)
+let coverage_inst_pairs actx ra rb =
+  let cross = Summary.distinct_inst_pairs actx ra rb in
+  if ra = rb then
+    match Summary.insts_of_role actx ra with
+    | i :: _ -> (i, i) :: cross
+    | [] -> cross
+  else cross
+
+(* a base is shared when, at some parameter valuation, processes of more
+   than one identity can access it: two roles, or one span role *)
+let shared_base actx base =
+  let roles =
+    List.sort_uniq compare
+      (List.map (fun (a : Summary.access) -> a.Summary.role)
+         (accesses_of_base actx base))
+  in
+  let insts =
+    List.concat_map (fun r -> Summary.insts_of_role actx r) roles
+  in
+  List.length insts >= 2
+
+let modified_base actx base =
+  List.exists Summary.is_write (accesses_of_base actx base)
+
+(* every non-await access to [base] holds a lock on one common lock base
+   (mode [W] for writes) whose indices are forced equal whenever two
+   accesses collide: then every concrete location of the base has a
+   non-empty candidate lockset at every concretization *)
+let covered_base actx base =
+  let ctx = actx.Summary.ctx in
+  let members = accesses_of_base actx base in
+  match members with
+  | [] -> true
+  | first :: _ ->
+    let sufficient (a : Summary.access) (_, _, m) =
+      (not (Summary.is_write a)) || m = Pir.W
+    in
+    let candidates =
+      List.filter_map
+        (fun ((l : Pir.locpat), m) ->
+          if sufficient first (l.Pir.base, (), m) then Some l.Pir.base
+          else None)
+        first.Summary.locks
+    in
+    List.exists
+      (fun lb ->
+        let lock_on (x : Summary.iaccess) =
+          List.find_opt (fun (b, _, _) -> b = lb) x.Summary.ilocks
+        in
+        (* every member holds [lb] with sufficient mode *)
+        List.for_all
+          (fun (a : Summary.access) ->
+            List.exists
+              (fun ((l : Pir.locpat), m) ->
+                l.Pir.base = lb && sufficient a ((), (), m))
+              a.Summary.locks)
+          members
+        (* and colliding members hold the same concrete lock *)
+        && List.for_all
+             (fun (a : Summary.access) ->
+               List.for_all
+                 (fun (b : Summary.access) ->
+                   a.Summary.aid > b.Summary.aid
+                   || List.for_all
+                        (fun (ia, ib) ->
+                          let xa = Summary.instantiate actx a ia in
+                          let xb = Summary.instantiate actx b ib in
+                          match Summary.loc_eqs xa xb with
+                          | None -> true
+                          | Some eqs ->
+                            (not (Sym.satisfiable ctx eqs))
+                            ||
+                            (match (lock_on xa, lock_on xb) with
+                            | Some (_, la, _), Some (_, lb', _) ->
+                              List.length la = List.length lb'
+                              && forced_eqs ctx eqs
+                                   (List.map2 Sym.sub la lb')
+                            | _ -> false))
+                        (coverage_inst_pairs actx a.Summary.role
+                           b.Summary.role))
+                 members)
+             members)
+      candidates
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze actx skel =
+  let s = actx.Summary.summary in
+  let aligned =
+    match Summary.alignment actx with Ok _ -> true | Error _ -> false
+  in
+  let pairs = ref [] in
+  let gate_sites = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Summary.access) ->
+      List.iter
+        (fun (b : Summary.access) ->
+          if a.Summary.aid <= b.Summary.aid && Summary.kinds_conflict a b
+          then
+            List.iter
+              (fun (ia, ib) ->
+                match witness_of actx skel ~aligned a ia b ib with
+                | None -> ()
+                | Some w ->
+                  (if w = W_gate then
+                     let site =
+                       if Summary.is_await a then a.Summary.site
+                       else b.Summary.site
+                     in
+                     Hashtbl.replace gate_sites site ());
+                  pairs :=
+                    { pa = a; pia = ia; pb = b; pib = ib; pwitness = w }
+                    :: !pairs)
+              (Summary.distinct_inst_pairs actx a.Summary.role
+                 b.Summary.role))
+        s.Summary.accesses)
+    s.Summary.accesses;
+  let pairs = List.rev !pairs in
+  let races = List.filter (fun p -> p.pwitness = W_unordered) pairs in
+  let bases =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (a : Summary.access) ->
+           if Summary.is_await a then None
+           else Some a.Summary.loc.Pir.base)
+         s.Summary.accesses)
+  in
+  let uncovered =
+    List.filter
+      (fun b ->
+        shared_base actx b && modified_base actx b
+        && not (covered_base actx b))
+      bases
+  in
+  {
+    actx;
+    skel;
+    aligned;
+    pairs;
+    races;
+    uncovered;
+    gate_sites =
+      List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) gate_sites []);
+  }

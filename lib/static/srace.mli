@@ -1,0 +1,44 @@
+(** Static race detection and lockset discipline (ISSUE 6 tentpole,
+    part 4a): every conflicting, possibly-colliding access pair must be
+    proved ordered by a witness — barrier phase, common lock, gated
+    await, or the sync skeleton — or it is a static race (S001). The
+    detector over-approximates the dynamic R001/R002 analyses: every
+    dynamic race at any concretization has a static counterpart. *)
+
+type witness =
+  | W_phase  (** different barrier phases whenever locations collide *)
+  | W_lock of string  (** same concrete lock, not both read-mode *)
+  | W_gate  (** await after [W]-lock-serialized writes (assumption S007) *)
+  | W_skeleton  (** proved by {!Skeleton.ordered} *)
+  | W_unordered  (** no witness: reported as S001 *)
+
+val witness_to_string : witness -> string
+
+type pair = {
+  pa : Summary.access;
+  pia : Summary.inst;
+  pb : Summary.access;
+  pib : Summary.inst;
+  pwitness : witness;
+}
+
+type t = {
+  actx : Summary.actx;
+  skel : Skeleton.t;
+  aligned : bool;  (** barrier-aligned ({!Summary.alignment}) *)
+  pairs : pair list;  (** every colliding conflict pair, with witness *)
+  races : pair list;  (** the [W_unordered] subset *)
+  uncovered : string list;  (** shared modified bases behind S002 *)
+  gate_sites : string list;  (** await sites relying on S007 *)
+}
+
+val analyze : Summary.actx -> Skeleton.t -> t
+
+(** {1 Discipline helpers, shared with {!Classify}} *)
+
+val shared_base : Summary.actx -> string -> bool
+val modified_base : Summary.actx -> string -> bool
+
+(** One lock base guards every non-await access to the base ([W] mode
+    for writes) with indices forced equal whenever accesses collide. *)
+val covered_base : Summary.actx -> string -> bool

@@ -1,0 +1,180 @@
+(* The [Mc_static] driver (ISSUE 6 tentpole, part 5): runs the whole
+   pipeline — summary, skeleton, race detection, classification — over
+   one IR program and renders the result as S0xx diagnostics, a
+   human-readable report or JSON. Nothing here executes the program:
+   every judgement holds at every parameter valuation. *)
+
+module Diag = Mc_analysis.Diag
+
+type report = {
+  program : string;
+  verdict : Classify.verdict;
+  verdict_proof : string;
+  srace : Srace.t;
+  reads : Classify.read_report list;
+  diags : Diag.t list;
+}
+
+let strictly_stronger ~declared ~inferred =
+  Classify.label_geq ~declared ~inferred
+  && not (Classify.label_geq ~declared:inferred ~inferred:declared)
+
+let diags_of prog (sr : Srace.t) (cl : Classify.t) =
+  let races =
+    List.map
+      (fun (p : Srace.pair) ->
+        Diag.make ~rule:"S001" ~severity:Diag.Error
+          ~loc:p.Srace.pa.Summary.loc.Pir.base ~site:p.Srace.pa.Summary.site
+          (Printf.sprintf
+             "conflicting accesses %s (%s) and %s (%s) have no ordering \
+              witness at some parameters"
+             p.Srace.pa.Summary.site
+             (Summary.kind_to_string p.Srace.pa.Summary.kind)
+             p.Srace.pb.Summary.site
+             (Summary.kind_to_string p.Srace.pb.Summary.kind)))
+      sr.Srace.races
+  in
+  let uncovered =
+    List.map
+      (fun base ->
+        Diag.make ~rule:"S002" ~severity:Diag.Warning ~loc:base
+          (Printf.sprintf
+             "shared base %s is written by several processes but no \
+              single lock discipline guards every access" base))
+      sr.Srace.uncovered
+  in
+  let verdict =
+    match cl.Classify.verdict with
+    | Classify.Unproved _ ->
+      [ Diag.make ~rule:"S004" ~severity:Diag.Warning
+          ?site:(Option.map fst cl.Classify.failing)
+          cl.Classify.verdict_proof ]
+    | _ ->
+      [ Diag.make ~rule:"S003" ~severity:Diag.Info
+          (Printf.sprintf "%s: %s"
+             (Classify.verdict_to_string cl.Classify.verdict)
+             cl.Classify.verdict_proof) ]
+  in
+  let labels =
+    List.filter_map
+      (fun (rr : Classify.read_report) ->
+        let declared = rr.Classify.declared
+        and inferred = rr.Classify.inferred in
+        if not (Classify.label_geq ~declared ~inferred) then
+          Some
+            (Diag.make ~rule:"S006" ~severity:Diag.Warning
+               ~loc:rr.Classify.racc.Summary.loc.Pir.base
+               ~site:rr.Classify.racc.Summary.site
+               (Printf.sprintf
+                  "read declares %s but needs %s at some parameters (%s)"
+                  (Pir.label_to_string declared)
+                  (Pir.label_to_string inferred)
+                  rr.Classify.rproof))
+        else if strictly_stronger ~declared ~inferred then
+          Some
+            (Diag.make ~rule:"S005" ~severity:Diag.Info
+               ~loc:rr.Classify.racc.Summary.loc.Pir.base
+               ~site:rr.Classify.racc.Summary.site
+               (Printf.sprintf
+                  "read declares %s where %s suffices at every parameter \
+                   (%s)"
+                  (Pir.label_to_string declared)
+                  (Pir.label_to_string inferred)
+                  rr.Classify.rproof))
+        else None)
+      cl.Classify.reads
+  in
+  let gates =
+    List.map
+      (fun site ->
+        Diag.make ~rule:"S007" ~severity:Diag.Info ~site
+          (Printf.sprintf
+             "await at %s treated as ordered after its lock-serialized \
+              gating writes (terminal-value assumption)" site))
+      sr.Srace.gate_sites
+  in
+  ignore prog;
+  List.sort Diag.compare (races @ uncovered @ verdict @ labels @ gates)
+
+let analyze (prog : Pir.t) =
+  let summary = Summary.build prog in
+  let actx = Summary.actx_create summary in
+  let skel = Skeleton.build actx in
+  let sr = Srace.analyze actx skel in
+  let cl = Classify.classify sr in
+  {
+    program = prog.Pir.name;
+    verdict = cl.Classify.verdict;
+    verdict_proof = cl.Classify.verdict_proof;
+    srace = sr;
+    reads = cl.Classify.reads;
+    diags = diags_of prog sr cl;
+  }
+
+let has_errors r =
+  List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) r.diags
+
+let count sev r =
+  List.length (List.filter (fun (d : Diag.t) -> d.Diag.severity = sev) r.diags)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp ?(proof = false) fmt r =
+  Format.fprintf fmt "%s: %s@." r.program
+    (Classify.verdict_to_string r.verdict);
+  if proof then begin
+    Format.fprintf fmt "  %s@." r.verdict_proof;
+    List.iter
+      (fun (rr : Classify.read_report) ->
+        Format.fprintf fmt "  read %s: declared %s, inferred %s — %s@."
+          rr.Classify.racc.Summary.site
+          (Pir.label_to_string rr.Classify.declared)
+          (Pir.label_to_string rr.Classify.inferred)
+          rr.Classify.rproof)
+      r.reads
+  end;
+  List.iter (fun d -> Format.fprintf fmt "%a@." Diag.pp d) r.diags;
+  Format.fprintf fmt "%s: %d error(s), %d warning(s), %d info@." r.program
+    (count Diag.Error r) (count Diag.Warning r) (count Diag.Info r)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let reads =
+    List.map
+      (fun (rr : Classify.read_report) ->
+        Printf.sprintf
+          "{\"site\":\"%s\",\"declared\":\"%s\",\"inferred\":\"%s\",\"proof\":\"%s\"}"
+          (json_escape rr.Classify.racc.Summary.site)
+          (json_escape (Pir.label_to_string rr.Classify.declared))
+          (json_escape (Pir.label_to_string rr.Classify.inferred))
+          (json_escape rr.Classify.rproof))
+      r.reads
+  in
+  let verdict =
+    match r.verdict with
+    | Classify.Corollary2 -> "corollary2"
+    | Classify.Corollary1 -> "corollary1"
+    | Classify.Theorem1 -> "theorem1"
+    | Classify.Unproved _ -> "unproved"
+  in
+  Printf.sprintf
+    "{\"program\":\"%s\",\"verdict\":\"%s\",\"proof\":\"%s\",\"races\":%d,\"reads\":[%s],\"diagnostics\":[%s]}"
+    (json_escape r.program) verdict (json_escape r.verdict_proof)
+    (List.length r.srace.Srace.races)
+    (String.concat "," reads)
+    (String.concat "," (List.map Diag.to_json r.diags))

@@ -1,0 +1,27 @@
+(** The [Mc_static] analysis driver: summary → skeleton → race
+    detection → classification over one {!Pir} program, with results
+    rendered as [S0xx] {!Diag} diagnostics, a text report or JSON.
+    Every judgement is execution-free and holds at every parameter
+    valuation. *)
+
+type report = {
+  program : string;
+  verdict : Classify.verdict;
+  verdict_proof : string;
+  srace : Srace.t;
+  reads : Classify.read_report list;
+  diags : Mc_analysis.Diag.t list;
+      (** sorted with [Mc_analysis.Diag.compare] *)
+}
+
+val analyze : Pir.t -> report
+val has_errors : report -> bool
+
+(** Number of diagnostics at exactly the given severity. *)
+val count : Mc_analysis.Diag.severity -> report -> int
+
+(** [pp ~proof] renders the verdict, (optionally) the per-read label
+    table with justifications, the diagnostics and a summary line. *)
+val pp : ?proof:bool -> Format.formatter -> report -> unit
+
+val to_json : report -> string

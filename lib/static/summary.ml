@@ -1,0 +1,392 @@
+(* Access summaries: the bridge from the structured IR to the symbolic
+   passes. One traversal per role collects every memory access with
+
+     - its must-lockset (the Locked regions enclosing it — a *must*
+       analysis by construction, since lock regions are structured),
+     - its symbolic barrier phase (number of barriers program-order
+       before it, an affine expression in parameters and loop binders),
+     - its enclosing binder chain and site path.
+
+   [instantiate] turns an access into symbolic (Sym) form on behalf of a
+   generic role instance, allocating fresh binder atoms so the two sides
+   of a pair analysis never alias. *)
+
+type binder_kind =
+  | B_for of { lo : Pir.term; hi : Pir.term }
+  | B_owned of { total : Pir.term }
+  | B_procs of { over : string }
+
+type binder = { bvar : string; bkind : binder_kind; bsite : string }
+
+type access_kind =
+  | K_read of Pir.rlabel
+  | K_write
+  | K_fa_read
+  | K_fa_write
+  | K_await
+
+type access = {
+  aid : int;
+  role : string;
+  site : string;
+  kind : access_kind;
+  loc : Pir.locpat;
+  value : Pir.term option;  (* writes with a static value; awaits *)
+  locks : (Pir.locpat * Pir.lock_mode) list;
+  phase : Pir.term;
+  pos : int;  (* pre-order position within the role body *)
+  binders : binder list;  (* outermost first *)
+  in_sync_loop : bool;  (* under an await-containing For *)
+  in_data_loop : bool;  (* under a loop that the skeleton keeps opaque *)
+}
+
+let is_write a = match a.kind with K_write | K_fa_write -> true | _ -> false
+let is_await a = match a.kind with K_await -> true | _ -> false
+
+let kind_to_string = function
+  | K_read _ -> "read"
+  | K_write -> "write"
+  | K_fa_read -> "fetch-add read"
+  | K_fa_write -> "fetch-add write"
+  | K_await -> "await"
+
+type role_info = {
+  rname : string;
+  range : Pir.range;
+  accesses : access list;
+  total_phase : Pir.term;
+  misaligned : string option;
+      (* a site whose barrier structure is not expressible as an
+         instance-independent affine phase, if any *)
+}
+
+type t = { prog : Pir.t; roles : role_info list; accesses : access list }
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* count the barriers of one statement as a constant, or None when the
+   count is iteration- or instance-dependent *)
+let rec const_barriers (s : Pir.stmt) =
+  match s with
+  | Pir.Barrier -> Some 1
+  | Pir.Read _ | Pir.Write _ | Pir.Fetch_add _ | Pir.Await _ | Pir.Compute _ ->
+    Some 0
+  | Pir.Locked { body; _ } ->
+    if Pir.contains_barrier body then None else Some 0
+  | Pir.For_owned { body; _ } | Pir.For_procs { body; _ } ->
+    if Pir.contains_barrier body then None else Some 0
+  | Pir.For { body; lo; hi; _ } -> (
+    match
+      List.fold_left
+        (fun acc s ->
+          match (acc, const_barriers s) with
+        | Some a, Some b -> Some (a + b)
+        | _ -> None)
+        (Some 0) body
+    with
+    | Some 0 -> Some 0
+    | Some per -> (
+      (* constant trip count needed to keep the total a constant *)
+      match (lo, hi) with
+      | Pir.Int l, Pir.Int h -> Some (per * max 0 (h - l + 1))
+      | _ -> None)
+    | None -> None)
+
+let build_role ~prog next_aid (r : Pir.role) =
+  let accesses = ref [] in
+  let misaligned = ref None in
+  let pos = ref 0 in
+  let mark_misaligned site = if !misaligned = None then misaligned := Some site in
+  let add ~site ~kind ~loc ~value ~locks ~phase ~binders ~sync ~data =
+    let aid = !next_aid in
+    next_aid := aid + 1;
+    incr pos;
+    accesses :=
+      { aid; role = r.rname; site; kind; loc; value; locks; phase; pos = !pos;
+        binders; in_sync_loop = sync; in_data_loop = data }
+      :: !accesses
+  in
+  (* walk returns the symbolic barrier count of the block *)
+  let rec block ~path ~locks ~phase ~binders ~sync ~data body =
+    List.fold_left
+      (fun phase (i, s) ->
+        stmt ~site:(Pir.site_join path (Pir.seg_of_stmt i s)) ~locks ~phase
+          ~binders ~sync ~data s)
+      phase
+      (List.mapi (fun i s -> (i, s)) body)
+  and stmt ~site ~locks ~phase ~binders ~sync ~data (s : Pir.stmt) =
+    match s with
+    | Pir.Read { loc; label } ->
+      add ~site ~kind:(K_read label) ~loc ~value:None ~locks ~phase ~binders
+        ~sync ~data;
+      phase
+    | Pir.Write { loc; value } ->
+      add ~site ~kind:K_write ~loc ~value:(Some value) ~locks ~phase ~binders
+        ~sync ~data;
+      phase
+    | Pir.Fetch_add { loc; _ } ->
+      add ~site:(site ^ "/fa.r") ~kind:K_fa_read ~loc ~value:None ~locks ~phase
+        ~binders ~sync ~data;
+      add ~site:(site ^ "/fa.w") ~kind:K_fa_write ~loc ~value:None ~locks
+        ~phase ~binders ~sync ~data;
+      phase
+    | Pir.Await { loc; value } ->
+      add ~site ~kind:K_await ~loc ~value:(Some value) ~locks ~phase ~binders
+        ~sync ~data;
+      phase
+    | Pir.Barrier -> Pir.Add (phase, Pir.Int 1)
+    | Pir.Compute _ -> phase
+    | Pir.Locked { lock; mode; body } ->
+      if Pir.contains_barrier body then mark_misaligned site;
+      block ~path:site ~locks:((lock, mode) :: locks) ~phase ~binders ~sync
+        ~data body
+    | Pir.For { var; lo; hi; body } ->
+      let b = { bvar = var; bkind = B_for { lo; hi }; bsite = site } in
+      let is_sync = Pir.contains_await body in
+      let per =
+        List.fold_left
+          (fun acc s ->
+            match (acc, const_barriers s) with
+            | Some a, Some b -> Some (a + b)
+            | _ -> None)
+          (Some 0) body
+      in
+      (match per with
+      | Some per_iter ->
+        (* phase inside iteration [var]: phase + per_iter*(var - lo) + offset *)
+        let inner_base =
+          if per_iter = 0 then phase
+          else Pir.Add (phase, Pir.Mul (per_iter, Pir.Sub (Pir.Var var, lo)))
+        in
+        let inner_end =
+          block ~path:site ~locks ~phase:inner_base ~binders:(binders @ [ b ])
+            ~sync:(sync || is_sync)
+            ~data:(data || not is_sync)
+            body
+        in
+        ignore inner_end;
+        if per_iter = 0 then phase
+        else
+          Pir.Add
+            (phase, Pir.Mul (per_iter, Pir.Add (Pir.Sub (hi, lo), Pir.Int 1)))
+      | None ->
+        mark_misaligned site;
+        ignore
+          (block ~path:site ~locks ~phase ~binders:(binders @ [ b ])
+             ~sync:(sync || is_sync)
+             ~data:(data || not is_sync)
+             body);
+        phase)
+    | Pir.For_owned { var; total; body } ->
+      if Pir.contains_barrier body then mark_misaligned site;
+      let b = { bvar = var; bkind = B_owned { total }; bsite = site } in
+      ignore
+        (block ~path:site ~locks ~phase ~binders:(binders @ [ b ]) ~sync
+           ~data:true body);
+      phase
+    | Pir.For_procs { var; over; body } ->
+      if Pir.contains_barrier body then mark_misaligned site;
+      let b = { bvar = var; bkind = B_procs { over }; bsite = site } in
+      ignore
+        (block ~path:site ~locks ~phase ~binders:(binders @ [ b ]) ~sync
+           ~data:true body);
+      phase
+  in
+  let total =
+    block ~path:(Pir.site_join prog r.rname) ~locks:[] ~phase:(Pir.Int 0)
+      ~binders:[] ~sync:false ~data:false r.body
+  in
+  { rname = r.rname; range = r.range; accesses = List.rev !accesses;
+    total_phase = total; misaligned = !misaligned }
+
+let build (p : Pir.t) =
+  let next_aid = ref 0 in
+  let roles = List.map (build_role ~prog:p.name next_aid) p.roles in
+  { prog = p; roles; accesses = List.concat_map (fun (ri : role_info) -> ri.accesses) roles }
+
+(* ------------------------------------------------------------------ *)
+(* Generic instances and symbolic instantiation                        *)
+(* ------------------------------------------------------------------ *)
+
+type inst = {
+  irole : string;
+  iidx : int;  (* 0 | 1 for span roles, 0 for singletons *)
+  iproc : Sym.t;
+  isingle : bool;
+}
+
+let inst_key i = Printf.sprintf "%s#%d" i.irole i.iidx
+
+type actx = {
+  ctx : Sym.ctx;
+  summary : t;
+  insts : inst list;
+  role_proc_bounds : (string * (int option * int option)) list;
+  role_proc_ranges : (string * (Sym.t * Sym.t)) list;
+      (* symbolic inclusive process-id range per role *)
+}
+
+let rec sym_of_term ~binders ~proc = function
+  | Pir.Int n -> Sym.const n
+  | Pir.Param p -> Sym.atom (Sym.Aparam p)
+  | Pir.Var v -> (
+    match List.assoc_opt v binders with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Mc_static: unbound loop variable %s" v))
+  | Pir.Proc -> proc
+  | Pir.Add (a, b) -> Sym.add (sym_of_term ~binders ~proc a) (sym_of_term ~binders ~proc b)
+  | Pir.Sub (a, b) -> Sym.sub (sym_of_term ~binders ~proc a) (sym_of_term ~binders ~proc b)
+  | Pir.Neg a -> Sym.neg (sym_of_term ~binders ~proc a)
+  | Pir.Mul (k, a) -> Sym.scale k (sym_of_term ~binders ~proc a)
+
+(* range terms may only mention parameters *)
+let sym_of_range_term t =
+  sym_of_term ~binders:[] ~proc:(Sym.const min_int) t
+
+let actx_create (s : t) =
+  let ctx = Sym.ctx_create () in
+  List.iter
+    (fun (p : Pir.param) ->
+      Sym.set_bounds ctx (Sym.Aparam p.pname) (Some p.min, None))
+    s.prog.params;
+  let insts, bounds, ranges =
+    List.fold_left
+      (fun (insts, bounds, ranges) (ri : role_info) ->
+        match ri.range with
+        | Pir.Single t ->
+          let proc = sym_of_range_term t in
+          ( insts
+            @ [ { irole = ri.rname; iidx = 0; iproc = proc; isingle = true } ],
+            bounds @ [ (ri.rname, Sym.eval_bounds ctx proc) ],
+            ranges @ [ (ri.rname, (proc, proc)) ] )
+        | Pir.Span { lo; hi } ->
+          let lo_s = sym_of_range_term lo and hi_s = sym_of_range_term hi in
+          let b = (fst (Sym.eval_bounds ctx lo_s), snd (Sym.eval_bounds ctx hi_s)) in
+          let mk i =
+            let a = Sym.Ainst (ri.rname, i) in
+            Sym.set_bounds ctx a b;
+            Sym.set_range ctx a ~lo:lo_s ~hi:hi_s;
+            { irole = ri.rname; iidx = i; iproc = Sym.atom a; isingle = false }
+          in
+          ( insts @ [ mk 0; mk 1 ],
+            bounds @ [ (ri.rname, b) ],
+            ranges @ [ (ri.rname, (lo_s, hi_s)) ] ))
+      ([], [], []) s.roles
+  in
+  { ctx; summary = s; insts; role_proc_bounds = bounds; role_proc_ranges = ranges }
+
+let insts_of_role actx rname =
+  List.filter (fun i -> i.irole = rname) actx.insts
+
+(* representative pairs of distinct instances for pairwise analyses: for
+   two accesses of the same span role, its two generic instances; for
+   accesses of different roles, one generic instance of each; same-
+   singleton pairs are program-ordered and yield nothing *)
+let distinct_inst_pairs actx ra rb =
+  if ra = rb then
+    match insts_of_role actx ra with
+    | [ a; b ] -> [ (a, b) ]
+    | _ -> []
+  else
+    match (insts_of_role actx ra, insts_of_role actx rb) with
+    | ia :: _, ib :: _ -> [ (ia, ib) ]
+    | _ -> []
+
+type iaccess = {
+  acc : access;
+  inst : inst;
+  iloc : Sym.t list;
+  ivalue : Sym.t option;
+  ilocks : (string * Sym.t list * Pir.lock_mode) list;
+  iphase : Sym.t;
+  ibinders : (string * Sym.atom) list;  (* bsite-keyed, outermost first *)
+}
+
+(* instantiate [a] on behalf of [inst], allocating fresh binder atoms *)
+let instantiate actx (a : access) (inst : inst) =
+  let ctx = actx.ctx in
+  let proc = inst.iproc in
+  let binders = ref [] and keyed = ref [] in
+  List.iter
+    (fun (b : binder) ->
+      let atom = Sym.fresh_var ctx in
+      let bsyms = !binders in
+      (match b.bkind with
+      | B_for { lo; hi } ->
+        let lo_s = sym_of_term ~binders:bsyms ~proc lo in
+        let hi_s = sym_of_term ~binders:bsyms ~proc hi in
+        Sym.set_bounds ctx atom
+          (fst (Sym.eval_bounds ctx lo_s), snd (Sym.eval_bounds ctx hi_s))
+      | B_owned { total } ->
+        let hi_s =
+          Sym.sub (sym_of_term ~binders:bsyms ~proc total) (Sym.const 1)
+        in
+        Sym.set_bounds ctx atom (Some 0, snd (Sym.eval_bounds ctx hi_s));
+        Sym.set_owned ctx atom ~loop:b.bsite ~inst:proc
+      | B_procs { over } ->
+        Sym.set_bounds ctx atom
+          (match List.assoc_opt over actx.role_proc_bounds with
+          | Some b -> b
+          | None -> (None, None));
+        Option.iter
+          (fun (lo, hi) -> Sym.set_range ctx atom ~lo ~hi)
+          (List.assoc_opt over actx.role_proc_ranges));
+      binders := (b.bvar, Sym.atom atom) :: !binders;
+      keyed := (b.bsite, atom) :: !keyed)
+    a.binders;
+  let sym t = sym_of_term ~binders:!binders ~proc t in
+  {
+    acc = a;
+    inst;
+    iloc = List.map sym a.loc.Pir.index;
+    ivalue = Option.map sym a.value;
+    ilocks =
+      List.map
+        (fun ((l : Pir.locpat), m) -> (l.Pir.base, List.map sym l.Pir.index, m))
+        a.locks;
+    iphase = sym a.phase;
+    ibinders = List.rev !keyed;
+  }
+
+(* location unifier of two instantiated accesses: the equations forcing
+   their concrete locations equal, or [None] when the bases (or arities)
+   can never match *)
+let loc_eqs (x : iaccess) (y : iaccess) =
+  if x.acc.loc.Pir.base <> y.acc.loc.Pir.base then None
+  else if List.length x.iloc <> List.length y.iloc then None
+  else Some (List.map2 Sym.sub x.iloc y.iloc)
+
+(* a conflicting pair: same pattern, at least one side writes *)
+let kinds_conflict a b = is_write a || is_write b
+
+(* program-wide barrier alignment: every role's barrier structure is an
+   instance-independent affine phase and all totals provably coincide *)
+let alignment actx =
+  let s = actx.summary in
+  let bad = List.find_opt (fun ri -> ri.misaligned <> None) s.roles in
+  match bad with
+  | Some ri -> Error (Option.get ri.misaligned)
+  | None -> (
+    let totals =
+      List.map
+        (fun (ri : role_info) ->
+          (* a per-role dummy process atom: proc-dependent totals then
+             fail the pairwise equality below *)
+          let dummy = Sym.fresh_var actx.ctx in
+          (ri, sym_of_term ~binders:[] ~proc:(Sym.atom dummy) ri.total_phase))
+        s.roles
+    in
+    match totals with
+    | [] -> Ok Sym.zero
+    | (_, t0) :: rest ->
+      if List.for_all (fun (_, t) -> Sym.must_equal t0 t) rest then Ok t0
+      else
+        Error
+          (Printf.sprintf "barrier counts differ across roles (%s)"
+             (String.concat " vs "
+                (List.map
+                   (fun ((ri : role_info), t) ->
+                     Printf.sprintf "%s:%s" ri.rname (Sym.to_string t))
+                   totals))))

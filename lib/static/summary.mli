@@ -1,0 +1,108 @@
+(** Access summaries (ISSUE 6 tentpole, part 2): one traversal per role
+    collects every memory access with its must-lockset, symbolic barrier
+    phase and binder chain; [instantiate] then lifts an access into
+    {!Sym} form on behalf of a generic role instance for the pairwise
+    analyses ({!Srace}, {!Classify}). *)
+
+type binder_kind =
+  | B_for of { lo : Pir.term; hi : Pir.term }
+  | B_owned of { total : Pir.term }
+  | B_procs of { over : string }
+
+type binder = { bvar : string; bkind : binder_kind; bsite : string }
+
+type access_kind =
+  | K_read of Pir.rlabel
+  | K_write
+  | K_fa_read
+  | K_fa_write
+  | K_await
+
+type access = {
+  aid : int;
+  role : string;
+  site : string;
+  kind : access_kind;
+  loc : Pir.locpat;
+  value : Pir.term option;  (** writes with a static value; awaits *)
+  locks : (Pir.locpat * Pir.lock_mode) list;  (** must-lockset, innermost first *)
+  phase : Pir.term;  (** barriers program-order before this access *)
+  pos : int;  (** pre-order position within the role body *)
+  binders : binder list;  (** outermost first *)
+  in_sync_loop : bool;  (** under an await-containing [For] *)
+  in_data_loop : bool;  (** under a loop the skeleton keeps opaque *)
+}
+
+val is_write : access -> bool
+val is_await : access -> bool
+val kind_to_string : access_kind -> string
+
+type role_info = {
+  rname : string;
+  range : Pir.range;
+  accesses : access list;
+  total_phase : Pir.term;
+  misaligned : string option;
+      (** a site whose barrier structure is not expressible as an
+          instance-independent affine phase, if any *)
+}
+
+type t = { prog : Pir.t; roles : role_info list; accesses : access list }
+
+val build : Pir.t -> t
+
+(** {1 Generic instances} *)
+
+type inst = {
+  irole : string;
+  iidx : int;  (** 0 | 1 for span roles, 0 for singletons *)
+  iproc : Sym.t;
+  isingle : bool;
+}
+
+val inst_key : inst -> string
+
+type actx = {
+  ctx : Sym.ctx;
+  summary : t;
+  insts : inst list;
+  role_proc_bounds : (string * (int option * int option)) list;
+  role_proc_ranges : (string * (Sym.t * Sym.t)) list;
+      (** symbolic inclusive process-id range per role *)
+}
+
+val sym_of_term :
+  binders:(string * Sym.t) list -> proc:Sym.t -> Pir.term -> Sym.t
+
+val actx_create : t -> actx
+val insts_of_role : actx -> string -> inst list
+
+(** Representative pairs of provably-distinct instances covering all
+    cross-instance interactions of two accesses' roles. *)
+val distinct_inst_pairs : actx -> string -> string -> (inst * inst) list
+
+type iaccess = {
+  acc : access;
+  inst : inst;
+  iloc : Sym.t list;
+  ivalue : Sym.t option;
+  ilocks : (string * Sym.t list * Pir.lock_mode) list;
+  iphase : Sym.t;
+  ibinders : (string * Sym.atom) list;  (** bsite-keyed, outermost first *)
+}
+
+(** Instantiate an access on behalf of a generic instance, allocating
+    fresh binder atoms (with bounds and ownership registered in the
+    context) so the two sides of a pair analysis never alias. *)
+val instantiate : actx -> access -> inst -> iaccess
+
+(** The equations forcing two instantiated accesses' concrete locations
+    equal, or [None] when the bases or arities can never match. *)
+val loc_eqs : iaccess -> iaccess -> Sym.t list option
+
+val kinds_conflict : access -> access -> bool
+
+(** Program-wide barrier alignment: [Ok total] when every role's barrier
+    structure is an instance-independent affine phase and all totals
+    provably coincide. *)
+val alignment : actx -> (Sym.t, string) result

@@ -1,0 +1,283 @@
+(* Affine symbolic integer terms over a small universe of atoms, the
+   arithmetic core every static pass shares. A term is [const + Σ coeff·atom];
+   atoms stand for program parameters, binder occurrences of loops, generic
+   role instances and symbolic base iterations of unrolled sync loops.
+
+   The only judgements exported are conservative: [must_equal] / [is_zero]
+   claim equality only when it holds for every valuation, [definitely_nonzero]
+   claims disequality only when no integer valuation inside the registered
+   bounds can make the term zero (constant tests, a gcd divisibility test —
+   which resolves the even/odd phase patterns of barrier programs — and
+   interval arithmetic over the registered atom bounds), and the equation
+   solver answers [Unsat] only when the system provably has no solution.
+   Anything unknown degrades to "maybe", which callers must treat as the
+   unordered / conflicting case. *)
+
+type atom =
+  | Aparam of string  (** program parameter, bounded below by its [min] *)
+  | Avar of int  (** one binder occurrence of a loop variable *)
+  | Ainst of string * int  (** generic instance [0|1] of a span role *)
+  | Aiter of int  (** symbolic base iteration of a sync-loop group *)
+
+let atom_compare = Stdlib.compare
+
+type t = { const : int; terms : (atom * int) list }
+(* [terms] sorted by atom, coefficients non-zero *)
+
+let normalize ts =
+  let sorted = List.sort (fun (a, _) (b, _) -> atom_compare a b) ts in
+  let rec merge = function
+    | (a, c1) :: (b, c2) :: rest when atom_compare a b = 0 ->
+      merge ((a, c1 + c2) :: rest)
+    | (a, c) :: rest -> if c = 0 then merge rest else (a, c) :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let make const terms = { const; terms = normalize terms }
+let const n = { const = n; terms = [] }
+let atom a = { const = 0; terms = [ (a, 1) ] }
+let zero = const 0
+
+let add a b = make (a.const + b.const) (a.terms @ b.terms)
+let neg a = { const = -a.const; terms = List.map (fun (x, c) -> (x, -c)) a.terms }
+let sub a b = add a (neg b)
+let scale k a =
+  if k = 0 then zero
+  else { const = k * a.const; terms = List.map (fun (x, c) -> (x, k * c)) a.terms }
+
+let is_zero t = t.const = 0 && t.terms = []
+let is_const t = t.terms = []
+let const_value t = if t.terms = [] then Some t.const else None
+let atoms t = List.map fst t.terms
+
+let must_equal a b = is_zero (sub a b)
+
+(* ------------------------------------------------------------------ *)
+(* Contexts: bounds and known-distinctness of atoms                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  bounds : (atom, int option * int option) Hashtbl.t;
+  (* owned-loop binder occurrences: loop key + instance term, used to
+     declare two occurrences of an owned binder on behalf of different
+     instances disjoint (the blocks partition the index space) *)
+  owned : (atom, string * t) Hashtbl.t;
+  (* symbolic inclusive ranges, for atoms whose bounds are terms over
+     parameters rather than constants (span-role instances, for_procs
+     binders): used to prove a value provably outside the range *)
+  ranges : (atom, t * t) Hashtbl.t;
+  mutable next : int;
+}
+
+let ctx_create () =
+  {
+    bounds = Hashtbl.create 32;
+    owned = Hashtbl.create 8;
+    ranges = Hashtbl.create 8;
+    next = 0;
+  }
+
+let fresh_var ctx =
+  let id = ctx.next in
+  ctx.next <- ctx.next + 1;
+  Avar id
+
+let fresh_iter ctx =
+  let id = ctx.next in
+  ctx.next <- ctx.next + 1;
+  Aiter id
+
+let set_bounds ctx a b = Hashtbl.replace ctx.bounds a b
+let set_owned ctx a ~loop ~inst = Hashtbl.replace ctx.owned a (loop, inst)
+let set_range ctx a ~lo ~hi = Hashtbl.replace ctx.ranges a (lo, hi)
+
+let bounds_of ctx a =
+  match Hashtbl.find_opt ctx.bounds a with Some b -> b | None -> (None, None)
+
+(* interval bounds of a term under the registered atom bounds *)
+let eval_bounds ctx t =
+  let open_add a b =
+    match (a, b) with Some x, Some y -> Some (x + y) | _ -> None
+  in
+  List.fold_left
+    (fun (lo, hi) (a, c) ->
+      let alo, ahi = bounds_of ctx a in
+      if c >= 0 then
+        (open_add lo (Option.map (( * ) c) alo),
+         open_add hi (Option.map (( * ) c) ahi))
+      else
+        (open_add lo (Option.map (( * ) c) ahi),
+         open_add hi (Option.map (( * ) c) alo)))
+    (Some t.const, Some t.const)
+    t.terms
+
+(* two atoms that can never be equal: the two generic instances of one
+   span role, or owned-loop binders of the same loop on behalf of
+   provably different instances *)
+let atoms_distinct ctx a b =
+  match (a, b) with
+  | Ainst (r1, i1), Ainst (r2, i2) -> r1 = r2 && i1 <> i2
+  | _ -> (
+    match (Hashtbl.find_opt ctx.owned a, Hashtbl.find_opt ctx.owned b) with
+    | Some (l1, inst1), Some (l2, inst2) when l1 = l2 ->
+      (* same owned loop: disjoint iff the instances provably differ *)
+      let d = sub inst1 inst2 in
+      (match (d.terms, d.const) with
+      | [], c -> c <> 0
+      | [ (x, 1); (y, -1) ], 0 | [ (x, -1); (y, 1) ], 0 ->
+        (match (x, y) with
+        | Ainst (r1, i1), Ainst (r2, i2) -> r1 = r2 && i1 <> i2
+        | _ -> false)
+      | _ -> false)
+    | _ -> false)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* [definitely_nonzero ctx t]: no integer valuation within bounds makes
+   [t] zero *)
+let definitely_nonzero ctx t =
+  match t.terms with
+  | [] -> t.const <> 0
+  | [ (x, 1); (y, -1) ] | [ (x, -1); (y, 1) ] when t.const = 0 ->
+    atoms_distinct ctx x y
+  | terms -> (
+    (* on a zero of [t], a unit-coefficient atom takes the value of the
+       negated rest; a registered symbolic range it provably falls
+       outside of rules the zero out *)
+    let outside_range () =
+      List.exists
+        (fun (a, c) ->
+          abs c = 1
+          &&
+          match Hashtbl.find_opt ctx.ranges a with
+          | None -> false
+          | Some (lo, hi) ->
+            let rest = { t with terms = List.remove_assoc a t.terms } in
+            let v = scale (-c) rest in
+            (match eval_bounds ctx (sub v hi) with
+            | Some l, _ -> l > 0
+            | _ -> false)
+            ||
+            (match eval_bounds ctx (sub lo v) with
+            | Some l, _ -> l > 0
+            | _ -> false))
+        terms
+    in
+    let g = List.fold_left (fun acc (_, c) -> gcd acc c) 0 terms in
+    if g > 1 && t.const mod g <> 0 then true
+    else
+      match eval_bounds ctx t with
+      | Some lo, _ when lo > 0 -> true
+      | _, Some hi when hi < 0 -> true
+      | _ -> outside_range ())
+
+(* ------------------------------------------------------------------ *)
+(* Equation systems                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type subst = (atom * t) list
+
+let rec reduce (s : subst) t =
+  let changed = ref false in
+  let t' =
+    List.fold_left
+      (fun acc (a, c) ->
+        match List.assoc_opt a s with
+        | Some repl ->
+          changed := true;
+          add acc (scale c repl)
+        | None -> add acc { const = 0; terms = [ (a, c) ] })
+      (const t.const) t.terms
+  in
+  if !changed then reduce s t' else t'
+
+type solution = Unsat | Sat of subst
+
+(* Solve the conjunction [eqs = 0] by eliminating unit-coefficient atoms;
+   residual equations only feed the contradiction tests. Unsat is only
+   reported when provable; the substitution of a Sat answer maps each
+   eliminated atom to an equivalent term, so reducing any term through it
+   preserves its value on every solution of the system. *)
+let solve ctx eqs =
+  let subst = ref [] in
+  let residual = ref [] in
+  let unsat = ref false in
+  let step eq =
+    if !unsat then ()
+    else
+      let eq = reduce !subst eq in
+      if is_zero eq then ()
+      else if definitely_nonzero ctx eq then unsat := true
+      else
+        (* scale down by the coefficient gcd when exact, so e.g.
+           [2t - 2t' = 0] still eliminates an atom *)
+        let eq =
+          let g = List.fold_left (fun acc (_, c) -> gcd acc c) 0 eq.terms in
+          if g > 1 && eq.const mod g = 0 then
+            { const = eq.const / g;
+              terms = List.map (fun (a, c) -> (a, c / g)) eq.terms }
+          else eq
+        in
+        match List.find_opt (fun (_, c) -> abs c = 1) eq.terms with
+        | Some (a, c) ->
+          (* a = -(eq - c·a)/c, exact since |c| = 1 *)
+          let rest = { eq with terms = List.remove_assoc a eq.terms } in
+          let repl = scale (-c) rest in
+          subst := (a, repl) :: List.map (fun (x, t) -> (x, reduce [ (a, repl) ] t)) !subst;
+          residual := List.map (reduce !subst) !residual
+        | None -> residual := eq :: !residual
+  in
+  List.iter step eqs;
+  if !unsat then Unsat
+  else if List.exists (definitely_nonzero ctx) !residual then Unsat
+  else if
+    (* any solution assigns each eliminated atom the value of its
+       replacement; disjoint intervals mean no solution exists *)
+    List.exists
+      (fun (a, repl) ->
+        let repl = reduce !subst repl in
+        let alo, ahi = bounds_of ctx a in
+        let rlo, rhi = eval_bounds ctx repl in
+        (match (alo, rhi) with Some lo, Some hi -> hi < lo | _ -> false)
+        || match (ahi, rlo) with Some hi, Some lo -> lo > hi | _ -> false)
+      !subst
+  then Unsat
+  else Sat !subst
+
+(* [eqs ⟹ d = 0]: on every solution of the system, [d] vanishes *)
+let forced_zero_given ctx eqs d =
+  match solve ctx eqs with
+  | Unsat -> true (* vacuous *)
+  | Sat s -> is_zero (reduce s d)
+
+(* [eqs ⟹ d ≠ 0]: on every solution of the system, [d] is non-zero *)
+let nonzero_given ctx eqs d =
+  match solve ctx eqs with
+  | Unsat -> true (* vacuous *)
+  | Sat s -> definitely_nonzero ctx (reduce s d)
+
+let satisfiable ctx eqs = match solve ctx eqs with Unsat -> false | Sat _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_to_string = function
+  | Aparam p -> p
+  | Avar i -> Printf.sprintf "v%d" i
+  | Ainst (r, i) -> Printf.sprintf "%s#%c" r (Char.chr (Char.code 'a' + i))
+  | Aiter i -> Printf.sprintf "t%d" i
+
+let to_string t =
+  if is_zero t then "0"
+  else
+    let parts =
+      (if t.const <> 0 then [ string_of_int t.const ] else [])
+      @ List.map
+          (fun (a, c) ->
+            if c = 1 then atom_to_string a
+            else Printf.sprintf "%d*%s" c (atom_to_string a))
+          t.terms
+    in
+    String.concat "+" parts

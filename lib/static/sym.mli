@@ -1,0 +1,92 @@
+(** Affine symbolic integer terms — the arithmetic core of [Mc_static].
+
+    A term is [const + Σ coeff·atom] over atoms standing for program
+    parameters, loop-binder occurrences, generic role instances and the
+    symbolic base iteration of an unrolled sync loop. All exported
+    judgements are conservative: equality and disequality are only
+    claimed when they hold for {e every} integer valuation compatible
+    with the registered atom bounds; the unknown case must be treated by
+    callers as "may be equal" / "may conflict". Disequality combines a
+    constant test, a gcd divisibility test (which discharges the
+    even/odd phase patterns of barrier programs) and interval arithmetic
+    over atom bounds. *)
+
+type atom =
+  | Aparam of string  (** program parameter, bounded below by its [min] *)
+  | Avar of int  (** one binder occurrence of a loop variable *)
+  | Ainst of string * int  (** generic instance [0|1] of a span role *)
+  | Aiter of int  (** symbolic base iteration of a sync-loop group *)
+
+type t = private { const : int; terms : (atom * int) list }
+
+val const : int -> t
+val atom : atom -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val is_zero : t -> bool
+val is_const : t -> bool
+val const_value : t -> int option
+val atoms : t -> atom list
+
+(** Syntactic equality of normal forms: equal under every valuation. *)
+val must_equal : t -> t -> bool
+
+(** {1 Contexts} *)
+
+(** Mutable registry of atom bounds (inclusive, [None] = unbounded) and
+    owned-loop binder metadata, threaded through one whole analysis. *)
+type ctx
+
+val ctx_create : unit -> ctx
+val fresh_var : ctx -> atom
+val fresh_iter : ctx -> atom
+val set_bounds : ctx -> atom -> int option * int option -> unit
+
+(** Declare a binder occurrence as an owned-loop variable: occurrences of
+    the same [loop] on behalf of provably different instances are
+    disjoint (the blocks partition the index space). *)
+val set_owned : ctx -> atom -> loop:string -> inst:t -> unit
+
+(** Register a symbolic inclusive range for an atom whose bounds are
+    terms over parameters (span-role instances, [for_procs] binders):
+    disequality can then discharge values provably outside it, e.g. a
+    mid-role process id against the boundary singleton [P-1]. *)
+val set_range : ctx -> atom -> lo:t -> hi:t -> unit
+
+(** Interval bounds of a term under the registered atom bounds. *)
+val eval_bounds : ctx -> t -> int option * int option
+
+(** No integer valuation within bounds makes the term zero. *)
+val definitely_nonzero : ctx -> t -> bool
+
+(** {1 Equation systems}
+
+    A system is a conjunction of [t = 0] equations (typically location
+    unifiers). The solver eliminates unit-coefficient atoms; [Unsat] is
+    only answered when the system provably has no integer solution. *)
+
+type subst
+
+type solution = Unsat | Sat of subst
+
+val solve : ctx -> t list -> solution
+
+(** Rewrite a term through the substitution of a [Sat] answer; its value
+    is preserved on every solution of the solved system. *)
+val reduce : subst -> t -> t
+
+(** [forced_zero_given ctx eqs d]: on every solution of [eqs], [d] = 0.
+    Vacuously true when [eqs] is unsatisfiable. *)
+val forced_zero_given : ctx -> t list -> t -> bool
+
+(** [nonzero_given ctx eqs d]: on every solution of [eqs], [d] ≠ 0.
+    Vacuously true when [eqs] is unsatisfiable. *)
+val nonzero_given : ctx -> t list -> t -> bool
+
+val satisfiable : ctx -> t list -> bool
+
+val atom_to_string : atom -> string
+val to_string : t -> string

@@ -1,0 +1,354 @@
+(* Tests of the Mc_static symbolic analyzer (ISSUE 6):
+
+   - app expectations: the Section-5 models get the verdicts the paper
+     assigns them, at every parameter valuation, with zero S001 races;
+   - differential containment against the dynamic pipeline on the app
+     models at two parameter settings;
+   - QCheck: random well-formed IR programs, checked statically and
+     dynamically — (a) every dynamic race has a static counterpart,
+     (b) inferred labels are never weaker than the advisor's
+     recommendation, (c) proved-SC programs are never observed
+     inconsistent by the online checker. *)
+
+module P = Mc_static.Pir
+module Sum = Mc_static.Summary
+module Sr = Mc_static.Srace
+module Cls = Mc_static.Classify
+module St = Mc_static.Static
+module Cz = Mc_static.Concretize
+module Models = Mc_apps.Static_models
+module An = Mc_analysis.Analysis
+module Adv = Mc_analysis.Advisor
+module Race = Mc_analysis.Race
+module Diag = Mc_analysis.Diag
+
+let static_strength = Cls.strength
+
+(* ------------------------------------------------------------------ *)
+(* App expectations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let models () =
+  [
+    (Models.solver_barrier, Cls.Corollary2);
+    (Models.solver_handshake ~labels:Models.Hs_causal (), Cls.Theorem1);
+    (Models.solver_handshake ~labels:Models.Hs_group (), Cls.Theorem1);
+    (Models.em_field, Cls.Corollary2);
+    (Models.cholesky, Cls.Corollary1);
+  ]
+
+let test_verdicts () =
+  List.iter
+    (fun (prog, expected) ->
+      let rep = St.analyze prog in
+      Alcotest.(check string)
+        (prog.P.name ^ " verdict")
+        (Cls.verdict_to_string expected)
+        (Cls.verdict_to_string rep.St.verdict))
+    (models ());
+  let rep = St.analyze (Models.solver_handshake ~labels:Models.Hs_pram ()) in
+  (match rep.St.verdict with
+  | Cls.Unproved _ -> ()
+  | v ->
+    Alcotest.failf "under-labelled handshake solver proved SC (%s)"
+      (Cls.verdict_to_string v));
+  Alcotest.(check bool)
+    "under-labelling is an S006, not a race" true
+    (rep.St.srace.Sr.races = []
+    && List.exists (fun d -> d.Diag.rule = "S006") rep.St.diags)
+
+let test_no_static_races () =
+  List.iter
+    (fun (prog, _) ->
+      let rep = St.analyze prog in
+      Alcotest.(check int)
+        (prog.P.name ^ " S001 count")
+        0
+        (List.length rep.St.srace.Sr.races);
+      Alcotest.(check bool) (prog.P.name ^ " has no errors") false
+        (St.has_errors rep))
+    (models ())
+
+(* the group-handshake solver's worker reads are exactly the minimal
+   group {coordinator, self}; the coordinator's own reads need only
+   PRAM because every handshake edge is incident to it *)
+let test_group_inference () =
+  let rep = St.analyze (Models.solver_handshake ~labels:Models.Hs_group ()) in
+  let worker_x =
+    List.filter
+      (fun (rr : Cls.read_report) ->
+        rr.Cls.racc.Sum.role = "worker" && rr.Cls.racc.Sum.loc.P.base = "x")
+      rep.St.reads
+  in
+  Alcotest.(check bool) "worker x reads found" true (worker_x <> []);
+  List.iter
+    (fun (rr : Cls.read_report) ->
+      Alcotest.(check int) "worker x inferred strength is group" 1
+        (static_strength rr.Cls.inferred);
+      Alcotest.(check bool) "declared = inferred as term sets" true
+        (Cls.label_geq ~declared:rr.Cls.declared ~inferred:rr.Cls.inferred
+        && Cls.label_geq ~declared:rr.Cls.inferred ~inferred:rr.Cls.declared))
+    worker_x;
+  let coord_reads =
+    List.filter
+      (fun (rr : Cls.read_report) -> rr.Cls.racc.Sum.role = "coord")
+      rep.St.reads
+  in
+  Alcotest.(check bool) "coord reads found" true (coord_reads <> []);
+  List.iter
+    (fun (rr : Cls.read_report) ->
+      Alcotest.(check int)
+        ("coord read " ^ rr.Cls.racc.Sum.site ^ " inferred PRAM")
+        0
+        (static_strength rr.Cls.inferred))
+    coord_reads
+
+let test_cholesky_gate () =
+  let rep = St.analyze Models.cholesky in
+  Alcotest.(check bool) "await relies on the S007 gate witness" true
+    (rep.St.srace.Sr.gate_sites <> []);
+  Alcotest.(check bool) "S007 diagnostic present" true
+    (List.exists (fun d -> d.Diag.rule = "S007") rep.St.diags);
+  Alcotest.(check int) "cholesky warnings" 0 (St.count Diag.Warning rep)
+
+let test_json_shape () =
+  List.iter
+    (fun (prog, _) ->
+      let js = St.to_json (St.analyze prog) in
+      let has needle =
+        let nl = String.length needle and jl = String.length js in
+        let rec go i = i + nl <= jl && (String.sub js i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (prog.P.name ^ " json keys") true
+        (has "\"program\"" && has "\"verdict\"" && has "\"reads\""
+        && has "\"diagnostics\""))
+    (models ())
+
+(* the optional site field must not disturb pre-existing diagnostics *)
+let test_diag_site () =
+  let without = Diag.make ~rule:"R001" ~severity:Diag.Error "m" in
+  let with_site = Diag.make ~rule:"R001" ~severity:Diag.Error ~site:"a/b" "m" in
+  let render d = Format.asprintf "%a" Diag.pp d in
+  Alcotest.(check bool) "no site, no @" false
+    (String.contains (render without) '@');
+  Alcotest.(check bool) "site rendered" true
+    (String.contains (render with_site) '@')
+
+(* ------------------------------------------------------------------ *)
+(* Differential containment                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_pair a b = if a <= b then (a, b) else (b, a)
+
+(* (a) every dynamic R001 maps, via site paths, to a static S001 pair *)
+let check_race_containment name (rep : St.report) run (dyn : An.report) =
+  let static_sites =
+    List.map
+      (fun (p : Sr.pair) -> sorted_pair p.Sr.pa.Sum.site p.Sr.pb.Sum.site)
+      rep.St.srace.Sr.races
+  in
+  List.iter
+    (fun (r : Race.race) ->
+      let site id =
+        match Cz.site_of run id with
+        | Some s -> s
+        | None -> Alcotest.failf "%s: op %d has no site" name id
+      in
+      let pair = sorted_pair (site r.Race.first) (site r.Race.second) in
+      if not (List.mem pair static_sites) then
+        Alcotest.failf "%s: dynamic race %s <-> %s not reported statically"
+          name (fst pair) (snd pair))
+    dyn.An.races.Race.races
+
+(* (b) a static label is never weaker than the advisor's schedule-
+   dependent recommendation for the same read site *)
+let check_label_containment name (rep : St.report) run (dyn : An.report) =
+  let site_label =
+    List.map
+      (fun (rr : Cls.read_report) -> (rr.Cls.racc.Sum.site, rr.Cls.inferred))
+      rep.St.reads
+  in
+  List.iter
+    (fun (a : Adv.advice) ->
+      match Cz.site_of run a.Adv.read_id with
+      | None -> ()
+      | Some site -> (
+        match (List.assoc_opt site site_label, a.Adv.recommended) with
+        | Some inferred, Some rec_ ->
+          if static_strength inferred < Adv.strength rec_ then
+            Alcotest.failf "%s: read %s inferred %s below recommended %s" name
+              site
+              (P.label_to_string inferred)
+              (Adv.label_to_string rec_)
+        | _ -> ()))
+    dyn.An.advice
+
+(* (c) a proved program is never caught inconsistent while running *)
+let check_online_consistent name (rep : St.report) run =
+  match (rep.St.verdict, run.Cz.online) with
+  | Cls.Unproved _, _ | _, None -> ()
+  | _, Some o ->
+    Alcotest.(check bool)
+      (name ^ " proved SC and online-consistent")
+      true
+      (Mc_consistency.Online.is_consistent o)
+
+let differential name prog params =
+  let rep = St.analyze prog in
+  let run = Cz.run ~check_online:true ~params prog in
+  let dyn = An.analyze run.Cz.history in
+  check_race_containment name rep run dyn;
+  check_label_containment name rep run dyn;
+  check_online_consistent name rep run
+
+let test_apps_differential () =
+  List.iter
+    (fun params ->
+      List.iter
+        (fun (prog, _) ->
+          differential (prog : P.t).P.name prog params)
+        (models ()))
+    [ []; [ ("P", 3); ("N", 5); ("T", 2) ] ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: random well-formed IR programs                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Each element becomes one barrier-aligned segment of a two-role
+   program (a [Single 0] main and a [Span 1..P-1] crew); racy elements
+   plant conflicts the static detector must report at every
+   concretization. No awaits: the generated programs exercise the
+   phase, lock and ownership witnesses. *)
+type elt =
+  | E_phase_data of P.rlabel  (* crew writes its block; all read next phase *)
+  | E_locked_count            (* both roles increment under one lock *)
+  | E_racy_count              (* unprotected increments: static race *)
+  | E_racy_scalar             (* both roles write one scalar: static race *)
+  | E_compute
+
+let is_racy = function E_racy_count | E_racy_scalar -> true | _ -> false
+
+let elt_to_string = function
+  | E_phase_data l -> "data(" ^ P.label_to_string l ^ ")"
+  | E_locked_count -> "locked"
+  | E_racy_count -> "racy-count"
+  | E_racy_scalar -> "racy-scalar"
+  | E_compute -> "compute"
+
+let n = P.Param "N"
+
+let sweep ?label base =
+  let j = P.Var "j" in
+  P.for_ "j" (P.Int 0) (P.Sub (n, P.Int 1)) [ P.read ?label (P.loc base [ j ]) ]
+
+let segment k = function
+  | E_phase_data label ->
+    let base = "d" ^ string_of_int k in
+    let r = P.Var "r" in
+    ( [ P.bar; sweep ~label base; P.bar ],
+      [
+        P.for_owned "r" n [ P.write (P.loc base [ r ]) (P.Int (k + 1)) ];
+        P.bar;
+        sweep ~label base;
+        P.bar;
+      ] )
+  | E_locked_count ->
+    let s =
+      [
+        P.locked
+          (P.loc0 ("l" ^ string_of_int k))
+          [ P.fetch_add (P.loc0 ("c" ^ string_of_int k)) (P.Int 1) ];
+        P.bar;
+      ]
+    in
+    (s, s)
+  | E_racy_count ->
+    let s =
+      [ P.fetch_add (P.loc0 ("u" ^ string_of_int k)) (P.Int 1); P.bar ]
+    in
+    (s, s)
+  | E_racy_scalar ->
+    let base = P.loc0 ("s" ^ string_of_int k) in
+    ([ P.write base (P.Int 1); P.bar ], [ P.write base (P.Int 2); P.bar ])
+  | E_compute -> ([ P.compute 0.5; P.bar ], [ P.compute 0.5; P.bar ])
+
+let program_of_elts elts =
+  let mains, crews = List.split (List.mapi segment elts) in
+  {
+    P.name = "qcheck";
+    params = [ P.param ~min:2 "N" 6; P.param ~min:2 "P" 3 ];
+    roles =
+      [
+        { P.rname = "main"; range = P.Single (P.Int 0); body = List.concat mains };
+        {
+          P.rname = "crew";
+          range = P.Span { lo = P.Int 1; hi = P.Sub (P.Param "P", P.Int 1) };
+          body = List.concat crews;
+        };
+      ];
+  }
+
+let elt_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun l -> E_phase_data l)
+               (oneofl
+                  [ P.L_pram; P.L_causal; P.L_group [ P.Int 0; P.Proc ] ]));
+        (2, return E_locked_count);
+        (1, return E_racy_count);
+        (1, return E_racy_scalar);
+        (1, return E_compute);
+      ])
+
+let elts_arb =
+  QCheck.make
+    ~print:(fun elts -> String.concat "; " (List.map elt_to_string elts))
+    QCheck.Gen.(list_size (int_range 1 4) elt_gen)
+
+let qcheck_differential =
+  QCheck.Test.make ~name:"random IR: static contains dynamic" ~count:40
+    elts_arb (fun elts ->
+      let prog = program_of_elts elts in
+      let rep = St.analyze prog in
+      (* generator sanity: planted races are found, clean programs prove *)
+      if List.exists is_racy elts then
+        QCheck.assume (rep.St.srace.Sr.races <> [])
+      else if rep.St.srace.Sr.races <> [] then
+        QCheck.Test.fail_reportf "clean program has static races";
+      List.iter
+        (fun params -> differential "qcheck" prog params)
+        [ []; [ ("P", 4); ("N", 4) ] ];
+      true)
+
+let qcheck_clean_proves =
+  QCheck.Test.make ~name:"random IR without race seeds proves SC" ~count:40
+    elts_arb (fun elts ->
+      QCheck.assume (not (List.exists is_racy elts));
+      let prog = program_of_elts elts in
+      let rep = St.analyze prog in
+      match rep.St.verdict with
+      | Cls.Unproved r -> QCheck.Test.fail_reportf "unproved: %s" r
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "static"
+    [
+      ( "apps",
+        [
+          Alcotest.test_case "verdicts" `Quick test_verdicts;
+          Alcotest.test_case "no static races" `Quick test_no_static_races;
+          Alcotest.test_case "group inference" `Quick test_group_inference;
+          Alcotest.test_case "cholesky gate" `Quick test_cholesky_gate;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+          Alcotest.test_case "diag site field" `Quick test_diag_site;
+        ] );
+      ( "differential",
+        [ Alcotest.test_case "apps, two settings" `Slow test_apps_differential ]
+      );
+      ("qcheck", [ qt qcheck_differential; qt qcheck_clean_proves ]);
+    ]
