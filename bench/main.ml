@@ -1654,6 +1654,110 @@ let exp_static () =
      agree on race counts at every concretization (the containment property)."
 
 (* ------------------------------------------------------------------ *)
+(* EXP-LATTICE: one workload checked across the model ladder (ISSUE 7) *)
+(* ------------------------------------------------------------------ *)
+
+module Lattice = Mc_consistency.Lattice
+
+(* one phase-disciplined execution, checked at every point of the
+   lattice ladder. Verdict monotonicity shows directly: failure sets
+   grow with model strength. Cost splits into a cold pass (builds and
+   memoizes the per-reader relations on the history) and warm passes
+   (re-verdicts against the memoized relations); streamable points are
+   additionally replayed through the online engine. *)
+let exp_lattice () =
+  let procs = 4 in
+  let rounds = if !quick then 8 else 40 in
+  let reps = if !quick then 3 else 5 in
+  let engine = Engine.create () in
+  let cfg = { (Config.default ~procs) with record = true } in
+  let rt = Runtime.create engine cfg in
+  for i = 0 to procs - 1 do
+    Api.spawn rt i (online_workload ~procs ~rounds)
+  done;
+  ignore (Runtime.run rt);
+  let h = Runtime.history rt in
+  let n = Mc_history.History.length h in
+  let rows = ref [] and json = ref [] in
+  List.iter
+    (fun model ->
+      let t0 = Sys.time () in
+      let fs = Lattice.failures h model in
+      let cold = Sys.time () -. t0 in
+      let warm = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Sys.time () in
+        ignore (Lattice.failures h model);
+        let dt = Sys.time () -. t0 in
+        if dt < !warm then warm := dt
+      done;
+      let streamable = Online.supports model in
+      let online_s =
+        if streamable then begin
+          let best = ref infinity in
+          for _ = 1 to reps do
+            let t0 = Sys.time () in
+            ignore (Online.check ~model h);
+            let dt = Sys.time () -. t0 in
+            if dt < !best then best := dt
+          done;
+          Some !best
+        end
+        else None
+      in
+      let name = Lattice.to_string model in
+      let nf = List.length fs in
+      rows :=
+        [
+          name;
+          string_of_int nf;
+          (if fs = [] then "yes" else "no");
+          Printf.sprintf "%.4f" cold;
+          Printf.sprintf "%.4f" !warm;
+          Printf.sprintf "%.3e" (float_of_int n /. Float.max !warm 1e-9);
+          (match online_s with
+          | Some t -> Printf.sprintf "%.4f" t
+          | None -> "(offline only)");
+        ]
+        :: !rows;
+      json :=
+        Printf.sprintf
+          "      {\"model\": %S, \"failures\": %d, \"consistent\": %b, \
+           \"cold_s\": %.6f, \"warm_s\": %.6f, \"streamable\": %b, \
+           \"online_s\": %s}"
+          name nf (fs = []) cold !warm streamable
+          (match online_s with
+          | Some t -> Printf.sprintf "%.6f" t
+          | None -> "null")
+        :: !json)
+    Lattice.ladder;
+  T.print
+    ~title:
+      (Printf.sprintf
+         "EXP-LATTICE: one %d-op execution checked across the model ladder"
+         n)
+    ~headers:
+      [
+        "model"; "failures"; "consistent"; "cold (s)"; "warm (s)";
+        "warm ops/s"; "online (s)";
+      ]
+    (List.rev !rows);
+  bench_core_add "EXP-LATTICE"
+    ~params:
+      (Printf.sprintf
+         "{\"procs\": %d, \"rounds\": %d, \"reps\": %d, \"ops\": %d, \
+          \"seed\": %d}"
+         procs rounds reps n bench_seed)
+    (Printf.sprintf "    \"runs\": [\n%s\n    ]"
+       (String.concat ",\n" (List.rev !json)));
+  print_endline
+    "models are values: one generic read-rule engine checks every ladder point.\n\
+     failure sets grow monotonically with model strength (session ... linearizable);\n\
+     the cold pass builds and memoizes each point's per-reader relations, warm\n\
+     passes re-verdict against the memo, and streamable points also replay through\n\
+     the online chain-clock engine."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1676,6 +1780,7 @@ let experiments =
     ("online", exp_online);
     ("obs", exp_obs);
     ("static", exp_static);
+    ("lattice", exp_lattice);
   ]
 
 let () =

@@ -47,17 +47,39 @@ let propagation_conv =
 module Online = Mc_consistency.Online
 module Mixed_chk = Mc_consistency.Mixed
 module Read_rule = Mc_consistency.Read_rule
+module Lattice = Mc_consistency.Lattice
+
+(* the uniform lattice point the *online* checker can be asked to
+   validate: witness-based models fall back to the offline check with a
+   note on stderr (never stdout — it must stay JSON-pure) *)
+let online_model ~check_online model =
+  match model with
+  | Some m when Online.supports m -> Some m
+  | Some m ->
+    if check_online then
+      Printf.eprintf
+        "note: model %s is not streamable (sim-time witness orders); the \
+         online checker runs per-label and %s is checked offline\n"
+        (Lattice.to_string m) (Lattice.to_string m);
+    None
+  | None -> None
 
 (* run [f] on the chosen memory system; returns (result, sim time,
    messages, history if recorded, online checker if requested). On the
    mixed runtime the online checker runs during execution (streaming
    verdicts, runtime stability sweeps); on the baselines it replays the
-   recorded history through the same engine afterwards. *)
-let run_on ~memory ~procs ~propagation ~record ~check_online f =
+   recorded history through the same engine afterwards. With [model]
+   (and [check_online]) the online checker validates every memory read
+   under that single lattice point instead of its declared label. *)
+let run_on ~memory ~procs ~propagation ~record ~check_online ?model f =
+  let model = online_model ~check_online model in
   match memory with
   | Mixed ->
     let engine = Engine.create () in
-    let cfg = { (Config.default ~procs) with propagation; record; check_online } in
+    let cfg =
+      { (Config.default ~procs) with
+        propagation; record; check_online; check_model = model }
+    in
     let rt = Runtime.create engine cfg in
     let out = f (Api.spawn rt) in
     let time = Runtime.run rt in
@@ -75,7 +97,7 @@ let run_on ~memory ~procs ~propagation ~record ~check_online f =
     let time = Mc_baselines.Sc_central.run m in
     let h = if record' then Some (Mc_baselines.Sc_central.history m) else None in
     let checker =
-      if check_online then Option.map Online.check h else None
+      if check_online then Option.map (Online.check ?model) h else None
     in
     let history = if record then h else None in
     (out, time, Mc_baselines.Sc_central.messages_sent m, history, checker)
@@ -87,7 +109,7 @@ let run_on ~memory ~procs ~propagation ~record ~check_online f =
     let time = Mc_baselines.Sc_invalidate.run m in
     let h = if record' then Some (Mc_baselines.Sc_invalidate.history m) else None in
     let checker =
-      if check_online then Option.map Online.check h else None
+      if check_online then Option.map (Online.check ?model) h else None
     in
     let history = if record then h else None in
     (out, time, Mc_baselines.Sc_invalidate.messages_sent m, history, checker)
@@ -112,6 +134,11 @@ let failure_json (f : Mixed_chk.failure) =
     verdict
     (match over with Some o -> Printf.sprintf ",\"overwritten_by\":%d" o | None -> "")
 
+let lattice_failure_json (f : Lattice.failure) =
+  let verdict, over = verdict_fields f.Lattice.verdict in
+  Printf.sprintf "{\"read_id\":%d,\"verdict\":%S%s}" f.Lattice.read_id verdict
+    (match over with Some o -> Printf.sprintf ",\"overwritten_by\":%d" o | None -> "")
+
 let read_counts h =
   let pram = ref 0 and causal = ref 0 and group = ref 0 in
   Array.iter
@@ -128,10 +155,18 @@ let read_counts h =
    with the app result fields, the verdict, per-rule read/failure counts
    and, in online mode, the engine's memory statistics. [extra] holds
    already-JSON-encoded (key, value) pairs from the app subcommand. *)
-let check_json ~extra ~history ~checker =
+let check_json ?model ~extra ~history ~checker () =
   let parts = ref [] in
   let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
   List.iter (fun (k, v) -> add "%S:%s" k v) extra;
+  (match (model, history) with
+  | Some m, Some h ->
+    let failures = Lattice.failures h m in
+    add
+      "\"model\":{\"name\":%S,\"consistent\":%b,\"streamable\":%b,\"failures\":[%s]}"
+      (Lattice.to_string m) (failures = []) (Online.supports m)
+      (String.concat "," (List.map lattice_failure_json failures))
+  | _ -> ());
   (match history with
   | Some h ->
     let failures = Mixed_chk.failures h in
@@ -199,15 +234,28 @@ let print_online_report c =
    plus whichever check sections ran — with all human-readable lines on
    stderr, so `mcdsm <app> --json` is machine-parseable with or without
    --check. *)
-let check_report ?(json = false) ?(trace = false) ?(strict = false)
+let print_model_report m h =
+  let failures = Lattice.failures h m in
+  Printf.printf "model %s: consistent=%b failures=%d%s\n" (Lattice.to_string m)
+    (failures = []) (List.length failures)
+    (if Online.supports m then "" else " (offline: not streamable)");
+  List.iter (fun f -> Format.printf "  %a@." Lattice.pp_failure f) failures
+
+let check_report ?(json = false) ?(trace = false) ?(strict = false) ?model
     ?(extra = []) ~history ~checker () =
-  if json then print_endline (check_json ~extra ~history ~checker)
+  if json then print_endline (check_json ?model ~extra ~history ~checker ())
   else begin
     Option.iter (print_offline_report ~trace) history;
+    (match (model, history) with
+    | Some m, Some h -> print_model_report m h
+    | _ -> ());
     Option.iter print_online_report checker
   end;
   Option.fold ~none:true ~some:Mixed_chk.is_mixed_consistent history
   && Option.fold ~none:true ~some:Online.is_consistent checker
+  && (match (model, history) with
+     | Some m, Some h -> Lattice.is_consistent h m
+     | _ -> true)
   && (not strict
      || Option.fold ~none:true ~some:Mc_history.History.is_well_formed history)
 
@@ -269,6 +317,24 @@ let check_json_arg =
            JSON object (verdict, per-rule read and failure counts, streaming \
            memory statistics) instead of text.")
 
+let model_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Lattice.of_string s) in
+  Cmdliner.Arg.conv (parse, Lattice.pp)
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some model_conv) None
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Check the execution against one consistency-lattice point \
+           (implies --check): sc, linearizable, processor, cache, causal, \
+           mixed, pram, slow, group:0,1,..., session[:ryw,mr|:none]. \
+           Streamable points (causal, pram, mixed, group, session) also \
+           drive --check-online; witness-based points (sc, linearizable, \
+           processor, cache, slow) are checked offline. Exits with status \
+           1 when any read violates the model.")
+
 let check_strict_arg =
   Arg.(
     value & flag
@@ -290,12 +356,13 @@ let solver_cmd =
     in
     Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Solver.variant_to_string v))
   in
-  let run n workers variant memory propagation record check_online json strict trace seed =
+  let run n workers variant memory propagation record check_online model json strict trace seed =
     let procs = workers + 1 in
+    let record = record || model <> None in
     let problem = Solver.Problem.generate ~seed ~n in
     let expected = Solver.reference ~variant problem in
     let res, time, msgs, history, checker =
-      run_on ~memory ~procs ~propagation ~record ~check_online (fun spawn ->
+      run_on ~memory ~procs ~propagation ~record ~check_online ?model (fun spawn ->
           Solver.launch ~spawn ~procs ~variant problem)
     in
     let r = Option.get !res in
@@ -316,7 +383,7 @@ let solver_cmd =
       ]
     in
     exit_if_inconsistent
-      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
+      (check_report ~json ~strict ~trace ?model ~extra ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"System size.") in
   let workers_arg =
@@ -332,16 +399,17 @@ let solver_cmd =
     (Cmd.info "solver" ~doc:"Iterative linear-equation solver (Sec. 5.1, Figs. 2-3)")
     Term.(
       const run $ n_arg $ workers_arg $ variant_arg $ memory_arg $ propagation_arg
-      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ model_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- em ---------------- *)
 
 let em_cmd =
-  let run procs steps cols memory propagation record check_online json strict trace seed =
+  let run procs steps cols memory propagation record check_online model json strict trace seed =
+    let record = record || model <> None in
     let params = { Em.rows = 4 * procs; cols; steps; seed } in
     let expected = Em.reference ~procs params in
     let res, time, msgs, history, checker =
-      run_on ~memory ~procs ~propagation ~record ~check_online (fun spawn ->
+      run_on ~memory ~procs ~propagation ~record ~check_online ?model (fun spawn ->
           Em.launch ~spawn ~procs params)
     in
     let r = Option.get !res in
@@ -361,7 +429,7 @@ let em_cmd =
       ]
     in
     exit_if_inconsistent
-      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
+      (check_report ~json ~strict ~trace ?model ~extra ~history ~checker ())
   in
   let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Update rounds.") in
   let cols_arg = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid width.") in
@@ -369,7 +437,7 @@ let em_cmd =
     (Cmd.info "em" ~doc:"Electromagnetic field computation (Sec. 5.2, Fig. 4)")
     Term.(
       const run $ procs_arg 4 $ steps_arg $ cols_arg $ memory_arg $ propagation_arg
-      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ model_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- cholesky ---------------- *)
 
@@ -383,11 +451,12 @@ let cholesky_cmd =
     Arg.conv
       (parse, fun fmt v -> Format.pp_print_string fmt (Cholesky.variant_to_string v))
   in
-  let run n density variant memory propagation record check_online json strict trace seed =
+  let run n density variant memory propagation record check_online model json strict trace seed =
+    let record = record || model <> None in
     let m = Sparse.generate ~seed ~n ~density in
     let lref = Sparse.factor_reference m in
     let res, time, msgs, history, checker =
-      run_on ~memory ~procs:4 ~propagation ~record ~check_online (fun spawn ->
+      run_on ~memory ~procs:4 ~propagation ~record ~check_online ?model (fun spawn ->
           Cholesky.launch ~spawn ~procs:4 ~variant m)
     in
     let r = Option.get !res in
@@ -408,7 +477,7 @@ let cholesky_cmd =
       ]
     in
     exit_if_inconsistent
-      (check_report ~json ~strict ~trace ~extra ~history ~checker ())
+      (check_report ~json ~strict ~trace ?model ~extra ~history ~checker ())
   in
   let n_arg = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Matrix dimension.") in
   let density_arg =
@@ -424,7 +493,7 @@ let cholesky_cmd =
     (Cmd.info "cholesky" ~doc:"Sparse Cholesky factorization (Sec. 5.3, Fig. 5)")
     Term.(
       const run $ n_arg $ density_arg $ variant_arg $ memory_arg $ propagation_arg
-      $ record_arg $ check_online_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ model_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
 
 (* ---------------- lint ---------------- *)
 
@@ -488,8 +557,9 @@ let spawn_delivery_workload rt =
         if i = 0 then api.Api.write "go" 1 else api.Api.await "go" 1)
   done
 
-let lint_cmd =
-  let app_histories app memory propagation seed =
+(* record one small history per requested app — shared by `lint` (full
+   analysis pipeline) and `check` (lattice-model conformance) *)
+let app_histories app memory propagation seed =
     let solver () =
       let problem = Solver.Problem.generate ~seed ~n:8 in
       let _, _, _, h, _ =
@@ -531,7 +601,25 @@ let lint_cmd =
     | `Cholesky -> [ cholesky () ]
     | `Delivery -> [ delivery () ]
     | `All -> litmus_catalog () @ [ solver (); em (); cholesky (); delivery () ]
-  in
+
+let lint_app_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("litmus", `Litmus);
+             ("solver", `Solver);
+             ("em", `Em);
+             ("cholesky", `Cholesky);
+             ("delivery", `Delivery);
+             ("all", `All);
+           ])
+        `Litmus
+    & info [ "app" ] ~docv:"APP"
+        ~doc:"History source: litmus, solver, em, cholesky, delivery or all.")
+
+let lint_cmd =
   let run app json strict memory propagation seed =
     let reports =
       List.map
@@ -557,23 +645,6 @@ let lint_cmd =
     if strict && List.exists (fun (_, r) -> Mc_analysis.Analysis.has_errors r) reports
     then exit 1
   in
-  let app_arg =
-    Arg.(
-      value
-      & opt
-          (enum
-             [
-               ("litmus", `Litmus);
-               ("solver", `Solver);
-               ("em", `Em);
-               ("cholesky", `Cholesky);
-               ("delivery", `Delivery);
-               ("all", `All);
-             ])
-          `Litmus
-      & info [ "app" ] ~docv:"APP"
-          ~doc:"History source: litmus, solver, em, cholesky, delivery or all.")
-  in
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
   in
@@ -588,8 +659,110 @@ let lint_cmd =
          "Run the race detector, discipline linter and label advisor on \
           recorded histories")
     Term.(
-      const run $ app_arg $ json_arg $ strict_arg $ memory_arg $ propagation_arg
+      const run $ lint_app_arg $ json_arg $ strict_arg $ memory_arg $ propagation_arg
       $ seed_arg)
+
+(* ---------------- check ---------------- *)
+
+(* [mcdsm check]: record one small history per app and validate every
+   memory read against one lattice point. Streamable models are also
+   replayed through the online engine, and the two verdicts are
+   compared; witness-based models check offline only. Follows the
+   [info ~json] discipline: with --json, stdout carries exactly one
+   JSON array. *)
+let check_cmd =
+  let run app model online json strict memory propagation seed =
+    let model = Option.value model ~default:Lattice.Mixed in
+    let streamable = Online.supports model in
+    let results =
+      List.map
+        (fun (name, h) ->
+          let failures = Lattice.failures h model in
+          let well_formed = Mc_history.History.is_well_formed h in
+          let online_agrees =
+            if online && streamable then
+              let c = Online.check ~model h in
+              Some
+                (List.map (fun (f : Mixed_chk.failure) -> f.Mixed_chk.read_id)
+                   (Online.failures c)
+                = List.map (fun (f : Lattice.failure) -> f.Lattice.read_id)
+                    failures)
+            else None
+          in
+          (name, h, failures, well_formed, online_agrees))
+        (app_histories app memory propagation seed)
+    in
+    if json then begin
+      print_string "[";
+      List.iteri
+        (fun i (name, h, failures, well_formed, online_agrees) ->
+          if i > 0 then print_string ",";
+          Printf.printf
+            "{\"name\":%S,\"model\":%S,\"ops\":%d,\"well_formed\":%b,\"consistent\":%b,\"streamable\":%b%s,\"failures\":[%s]}"
+            name
+            (Lattice.to_string model)
+            (Mc_history.History.length h)
+            well_formed (failures = []) streamable
+            (match online_agrees with
+            | Some b -> Printf.sprintf ",\"online_agrees\":%b" b
+            | None -> "")
+            (String.concat "," (List.map lattice_failure_json failures)))
+        results;
+      print_endline "]"
+    end
+    else
+      List.iter
+        (fun (name, h, _failures, well_formed, online_agrees) ->
+          Printf.printf "== %s ==\n" name;
+          Printf.printf "ops=%d well-formed=%b\n"
+            (Mc_history.History.length h) well_formed;
+          print_model_report model h;
+          Option.iter
+            (fun b -> Printf.printf "online checker agrees: %b\n" b)
+            online_agrees)
+        results;
+    if
+      strict
+      && List.exists
+           (fun (_, _, failures, well_formed, online_agrees) ->
+             failures <> [] || (not well_formed)
+             || online_agrees = Some false)
+           results
+    then exit 1
+  in
+  let online_arg =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Also replay each history through the streaming checker under \
+             the model (streamable models only) and report whether the two \
+             verdict sets agree.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON array of per-history conformance reports on \
+             stdout; human-readable lines go to stderr.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit with status 1 on any non-conforming read, ill-formed \
+             history or online/offline disagreement.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Record app histories and validate every read against one \
+          consistency-lattice point")
+    Term.(
+      const run $ lint_app_arg $ model_arg $ online_arg $ json_arg $ strict_arg
+      $ memory_arg $ propagation_arg $ seed_arg)
 
 (* ---------------- metrics / trace ---------------- *)
 
@@ -779,19 +952,21 @@ let analyze_cmd =
     | `Cholesky -> [ Sm.cholesky ]
     | `All -> Sm.all ()
   in
-  let run app json strict proof =
+  let run app json strict proof lattice =
     let reports = List.map St.analyze (progs_of app) in
     if json then begin
       List.iter
         (fun (r : St.report) ->
-          info ~json "%s: %s\n" r.St.program
-            (Mc_static.Classify.verdict_to_string r.St.verdict))
+          info ~json "%s: %s (weakest model %s)\n" r.St.program
+            (Mc_static.Classify.verdict_to_string r.St.verdict)
+            (Mc_static.Classify.lmodel_to_string
+               r.St.lattice.Mc_static.Classify.weakest))
         reports;
       print_endline
         ("[" ^ String.concat "," (List.map St.to_json reports) ^ "]")
     end
     else
-      List.iter (fun r -> St.pp ~proof Format.std_formatter r) reports;
+      List.iter (fun r -> St.pp ~proof ~lattice Format.std_formatter r) reports;
     if strict && List.exists St.has_errors reports then exit 1
   in
   let app_arg =
@@ -829,12 +1004,21 @@ let analyze_cmd =
             "Print the verdict justification and the per-read label table \
              with inference proofs.")
   in
+  let lattice_arg =
+    Arg.(
+      value & flag
+      & info [ "lattice" ]
+          ~doc:
+            "Print the weakest consistency-lattice model the program \
+             provably tolerates, its per-read decomposition and the \
+             per-axiom proof trace. (Always present in --json output.)")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically prove the Section-5 IR models SC and infer weakest \
           read labels, without executing them")
-    Term.(const run $ app_arg $ json_arg $ strict_arg $ proof_arg)
+    Term.(const run $ app_arg $ json_arg $ strict_arg $ proof_arg $ lattice_arg)
 
 (* ---------------- litmus ---------------- *)
 
@@ -885,6 +1069,7 @@ let () =
             em_cmd;
             cholesky_cmd;
             analyze_cmd;
+            check_cmd;
             litmus_cmd;
             lint_cmd;
             metrics_cmd;

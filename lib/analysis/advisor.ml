@@ -5,12 +5,14 @@ module Pram = Mc_consistency.Pram
 module Causal = Mc_consistency.Causal
 module Group = Mc_consistency.Group
 module Read_rule = Mc_consistency.Read_rule
+module Lattice = Mc_consistency.Lattice
 
 type advice = {
   read_id : int;
   declared : Op.label;
   declared_valid : bool;
   recommended : Op.label option;
+  rec_model : Lattice.t option;
 }
 
 let label_to_string = function
@@ -55,8 +57,29 @@ let advise ?shared h =
             Some Op.Causal (* Corollary 1 needs causal reads on [loc] *)
           else weakest
         in
+        (* the weakest lattice point validating this read in this
+           schedule — the same search as [weakest], extended downward
+           through the session points below PRAM. Purely advisory: the
+           SC corollaries never require going below [recommended]. *)
+        let lvalid m =
+          try Lattice.verdict h m ~read_id = Read_rule.Valid
+          with Invalid_argument _ -> false
+        in
+        let rec_model =
+          List.find_opt lvalid
+            (Lattice.
+               [
+                 Session [];
+                 Session [ Read_your_writes ];
+                 Session [ Monotonic_reads ];
+                 Session [ Read_your_writes; Monotonic_reads ];
+                 PRAM;
+               ]
+            @ (match label with Op.Group g -> [ Lattice.Group g ] | _ -> [])
+            @ [ Lattice.Causal ])
+        in
         advices :=
-          { read_id; declared = label; declared_valid; recommended }
+          { read_id; declared = label; declared_valid; recommended; rec_model }
           :: !advices
       | _ -> ())
     (History.ops h);
@@ -65,7 +88,7 @@ let advise ?shared h =
 let diagnostics h advices =
   let ops = History.ops h in
   List.filter_map
-    (fun { read_id; declared; declared_valid; recommended } ->
+    (fun { read_id; declared; declared_valid; recommended; rec_model } ->
       let o = ops.(read_id) in
       let loc = Option.map fst (Op.reads_value o) in
       let mk ~rule ~severity msg =
@@ -89,7 +112,18 @@ let diagnostics h advices =
              "read %d validates under %s in this schedule, but the \
               entry-consistency guarantee (Corollary 1) requires %s"
              read_id (label_to_string declared) (label_to_string r))
-      | true, Some _ -> None
+      | true, Some _ -> (
+        (* correctly labelled on the spectrum; still surface a lattice
+           move when a session point below PRAM validates the read *)
+        match rec_model with
+        | Some (Lattice.Session _ as m) ->
+          mk ~rule:"A004" ~severity:Diag.Info
+            (Printf.sprintf
+               "read %d: lattice move %s -> %s validates in this schedule \
+                (session guarantees are schedule-dependent; the declared \
+                label keeps the SC guarantee)"
+               read_id (label_to_string declared) (Lattice.to_string m))
+        | _ -> None)
       | false, Some r ->
         mk ~rule:"A002" ~severity:Diag.Warning
           (Printf.sprintf

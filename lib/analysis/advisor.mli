@@ -17,7 +17,9 @@
 
     Comparing the recommendation with the declared label yields:
     [A001] over-labelled (wasted causal-delivery cost), [A002]
-    under-labelled (SC at risk), [A003] no label validates the read. *)
+    under-labelled (SC at risk), [A003] no label validates the read,
+    [A004] a lattice move below PRAM (a session point) validates the
+    read in this schedule. *)
 
 type advice = {
   read_id : int;
@@ -25,6 +27,11 @@ type advice = {
   declared_valid : bool;  (** the declared label's read rule passes *)
   recommended : Mc_history.Op.label option;
       (** [None] when no label validates the read *)
+  rec_model : Mc_consistency.Lattice.t option;
+      (** the weakest lattice point validating the read in this
+          schedule — the [recommended] search extended downward through
+          the session points below PRAM. Purely advisory: the SC
+          corollaries never require moving below [recommended]. *)
 }
 
 val label_to_string : Mc_history.Op.label -> string
@@ -39,6 +46,7 @@ val advise :
   advice list
 
 (** Diagnostics: [A001]/[A002]/[A003] for reads whose declared label
-    disagrees with the recommendation; correctly-labelled reads produce
-    nothing. *)
+    disagrees with the recommendation; a correctly-labelled read whose
+    weakest lattice point is a session guarantee produces an [A004]
+    info (a downward lattice move), otherwise nothing. *)
 val diagnostics : Mc_history.History.t -> advice list -> Diag.t list

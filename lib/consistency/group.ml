@@ -1,11 +1,13 @@
+(* Thin wrapper over the lattice engine: a group-labelled read checks
+   at the Section-3.2 point of its own declared group (kept verbatim —
+   the reader must be a member). *)
+
 module History = Mc_history.History
 module Op = Mc_history.Op
 
 type failure = { read_id : int; verdict : Read_rule.verdict }
 
-let verdict h ~read_id ~group =
-  let reader = (History.op h read_id).Op.proc in
-  Read_rule.check h (History.group_relation h ~reader ~group) ~read_id
+let verdict h ~read_id ~group = Lattice.verdict_at h (Op.Group group) ~read_id
 
 let is_group_read h ~read_id ~group = verdict h ~read_id ~group = Read_rule.Valid
 

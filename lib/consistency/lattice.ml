@@ -1,0 +1,465 @@
+(* The consistency lattice: a model is a value (ISSUE 7 tentpole).
+
+   Following the axiom decompositions of Steinke & Nutt ("A Unified
+   Theory of Shared Memory Consistency") and Almeida ("A Framework for
+   Consistency Models"), every model here is a set of edge-generating
+   axioms. For a reader [i] the model's relation is
+
+     restrict (TC (po ∪ wi ∪ sync ∪ wo ∪ rt)) (no foreign memory reads)
+
+   where each component is an axiom-selected subset of the history's
+   derived relations:
+
+   - po:   program order — all of it, only same-location edges (plus
+           fences), only the reader's session edges, or none;
+   - wi:   writes-into (reads-from) edges, filtered to the edges that
+           touch the reader, a process group, or kept whole;
+   - sync: the reduced synchronization covering, filtered the same way
+           (its transitive closure equals the full sync order, so the
+           causal point matches [History.causal_relation] exactly);
+   - wo:   a total per-location (or global) write order taken from the
+           recording order — ids are assigned in simulation-time response
+           order, so this is the sim-time serialization witness;
+   - rt:   the real-time total order over all operations, again the id
+           order.
+
+   Verdicts come from the one generic {!Read_rule} engine applied to
+   that relation, so [Causal]/[PRAM]/[Group]/[Mixed] reproduce the seed
+   checkers verdict-for-verdict (the differential suite in
+   test/test_lattice.ml proves it), while [SC] and [Linearizable] are
+   witness-based: a failure means the history is not SC/linearizable
+   under the sim-time serialization (conservative in the strong
+   direction — a history rejected here might still be SC under some
+   other serialization; [Sequential.is_sequentially_consistent] remains
+   the bounded exact search).
+
+   Monotonicity holds by construction: every model keeps the writes-into
+   edges incident to the reader, so under the unique-writes assumption
+   the candidate-writer set of a read is the same at every lattice point
+   and a larger relation can only add interposers. Hence
+   [leq m1 m2] implies [failures m1 ⊆ failures m2] (as read-id sets) —
+   the QCheck property of the test suite. *)
+
+module History = Mc_history.History
+module Op = Mc_history.Op
+module Relation = Mc_util.Relation
+
+type guarantee = Read_your_writes | Monotonic_reads
+
+type t =
+  | Linearizable
+  | SC
+  | Processor
+  | Cache
+  | Causal
+  | Mixed
+  | Group of int list
+  | PRAM
+  | Slow
+  | Session of guarantee list
+
+(* ------------------------------------------------------------------ *)
+(* Axioms                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type po_axiom =
+  | Po_none
+  | Po_session of { ryw : bool; mr : bool }
+  | Po_per_location
+  | Po_global
+
+type scope = S_none | S_reader | S_group of int list | S_all
+type wo_axiom = Wo_none | Wo_per_location | Wo_global
+
+type axioms = {
+  po : po_axiom;
+  wi : scope;  (** writes-into (reads-from) edges *)
+  sync : scope;  (** reduced synchronization-order edges *)
+  wo : wo_axiom;  (** sim-time total write order *)
+  rt : bool;  (** sim-time real-time order over all operations *)
+}
+
+let norm_group g = List.sort_uniq compare g
+
+let norm_session gs =
+  let mem g = List.mem g gs in
+  (mem Read_your_writes, mem Monotonic_reads)
+
+let session_po gs =
+  match norm_session gs with
+  | false, false -> Po_none
+  | ryw, mr -> Po_session { ryw; mr }
+
+let axioms_of = function
+  | Linearizable -> { po = Po_global; wi = S_all; sync = S_all; wo = Wo_global; rt = true }
+  | SC -> { po = Po_global; wi = S_all; sync = S_all; wo = Wo_global; rt = false }
+  | Processor -> { po = Po_global; wi = S_all; sync = S_reader; wo = Wo_per_location; rt = false }
+  | Cache -> { po = Po_per_location; wi = S_all; sync = S_none; wo = Wo_per_location; rt = false }
+  | Causal -> { po = Po_global; wi = S_all; sync = S_all; wo = Wo_none; rt = false }
+  | Group g ->
+    let g = norm_group g in
+    { po = Po_global; wi = S_group g; sync = S_group g; wo = Wo_none; rt = false }
+  | PRAM -> { po = Po_global; wi = S_reader; sync = S_reader; wo = Wo_none; rt = false }
+  | Slow -> { po = Po_per_location; wi = S_reader; sync = S_none; wo = Wo_none; rt = false }
+  | Session gs -> { po = session_po gs; wi = S_reader; sync = S_none; wo = Wo_none; rt = false }
+  | Mixed -> invalid_arg "Lattice.axioms_of: Mixed dispatches on per-read labels"
+
+(* the axiom point of one declared read label: the seed per-label
+   checkers (Defs. 2/3, §3.2). The group is kept verbatim — the reader
+   must be a member, mirroring [History.group_relation]. *)
+let axioms_of_label = function
+  | Op.PRAM -> axioms_of PRAM
+  | Op.Causal -> axioms_of Causal
+  | Op.Group g ->
+    let g = norm_group g in
+    { po = Po_global; wi = S_group g; sync = S_group g; wo = Wo_none; rt = false }
+
+(* ------------------------------------------------------------------ *)
+(* Order, meet, join                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let po_leq a b =
+  match (a, b) with
+  | Po_none, _ -> true
+  | _, Po_global -> true
+  | Po_session { ryw = r1; mr = m1 }, Po_session { ryw = r2; mr = m2 } ->
+    ((not r1) || r2) && ((not m1) || m2)
+  | Po_per_location, Po_per_location -> true
+  | (Po_session _ | Po_per_location | Po_global), _ -> false
+
+let scope_leq a b =
+  match (a, b) with
+  | S_none, _ -> true
+  | _, S_all -> true
+  (* group scopes are implicitly reader-augmented, so the reader scope
+     is below every group scope and the empty group collapses to it *)
+  | S_reader, (S_reader | S_group _) -> true
+  | S_group g, S_reader -> norm_group g = []
+  | S_group g1, S_group g2 ->
+    List.for_all (fun m -> List.mem m (norm_group g2)) (norm_group g1)
+  | (S_reader | S_group _ | S_all), _ -> false
+
+let wo_leq a b =
+  match (a, b) with
+  | Wo_none, _ -> true
+  | _, Wo_global -> true
+  | Wo_per_location, Wo_per_location -> true
+  | (Wo_per_location | Wo_global), _ -> false
+
+let ax_leq a b =
+  po_leq a.po b.po && scope_leq a.wi b.wi && scope_leq a.sync b.sync
+  && wo_leq a.wo b.wo
+  && ((not a.rt) || b.rt)
+
+(* [Mixed] checks each read at its own declared label, every label point
+   lying between PRAM and Causal; as a lattice element it behaves as
+   that interval: below everything above Causal, above everything below
+   PRAM. *)
+let rec leq a b =
+  match (a, b) with
+  | Mixed, Mixed -> true
+  | Mixed, _ -> leq Causal b
+  | _, Mixed -> leq a PRAM
+  | _ -> ax_leq (axioms_of a) (axioms_of b)
+
+let equal a b = leq a b && leq b a
+
+let base_candidates =
+  [
+    Linearizable;
+    SC;
+    Processor;
+    Cache;
+    Causal;
+    PRAM;
+    Slow;
+    Session [ Read_your_writes; Monotonic_reads ];
+    Session [ Read_your_writes ];
+    Session [ Monotonic_reads ];
+    Session [];
+  ]
+
+let group_inter g1 g2 = List.filter (fun m -> List.mem m (norm_group g2)) (norm_group g1)
+let group_union g1 g2 = norm_group (g1 @ g2)
+
+(* glb / lub within the named model set. The named poset is a lattice
+   (checked pairwise); the search picks the unique extremal bound and
+   falls back to a safe bound should a new named point ever break
+   uniqueness. *)
+let extremal ~above candidates a b =
+  let bound c = if above then leq a c && leq b c else leq c a && leq c b in
+  let bounds = List.filter bound candidates in
+  let dominates c = List.for_all (fun c' -> if above then leq c c' else leq c' c) bounds in
+  match List.find_opt dominates bounds with
+  | Some c -> c
+  | None -> if above then Linearizable else Session []
+
+let meet a b =
+  if leq a b then a
+  else if leq b a then b
+  else
+    let a' = match a with Mixed -> PRAM | _ -> a in
+    let b' = match b with Mixed -> PRAM | _ -> b in
+    let groups =
+      match (a', b') with
+      | Group g1, Group g2 -> [ Group (group_inter g1 g2) ]
+      | _ -> []
+    in
+    extremal ~above:false (groups @ base_candidates) a' b'
+
+let join a b =
+  if leq a b then b
+  else if leq b a then a
+  else
+    let a' = match a with Mixed -> Causal | _ -> a in
+    let b' = match b with Mixed -> Causal | _ -> b in
+    let groups =
+      match (a', b') with
+      | Group g1, Group g2 -> [ Group (group_union g1 g2) ]
+      | _ -> []
+    in
+    extremal ~above:true (groups @ base_candidates) a' b'
+
+(* ------------------------------------------------------------------ *)
+(* Names                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let guarantee_to_string = function
+  | Read_your_writes -> "ryw"
+  | Monotonic_reads -> "mr"
+
+let to_string = function
+  | Linearizable -> "linearizable"
+  | SC -> "sc"
+  | Processor -> "processor"
+  | Cache -> "cache"
+  | Causal -> "causal"
+  | Mixed -> "mixed"
+  | Group g ->
+    Printf.sprintf "group:%s" (String.concat "," (List.map string_of_int (norm_group g)))
+  | PRAM -> "pram"
+  | Slow -> "slow"
+  | Session gs -> (
+    match List.sort_uniq compare gs with
+    | [] -> "session:none"
+    | gs -> Printf.sprintf "session:%s" (String.concat "," (List.map guarantee_to_string gs)))
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let split_tail prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      Some (String.split_on_char ',' (String.sub s n (String.length s - n)))
+    else None
+  in
+  match s with
+  | "linearizable" | "lin" -> Ok Linearizable
+  | "sc" -> Ok SC
+  | "processor" -> Ok Processor
+  | "cache" -> Ok Cache
+  | "causal" -> Ok Causal
+  | "mixed" -> Ok Mixed
+  | "pram" -> Ok PRAM
+  | "slow" -> Ok Slow
+  | "session" -> Ok (Session [ Read_your_writes; Monotonic_reads ])
+  | "session:none" -> Ok (Session [])
+  | "group" | "group:" -> Ok (Group []) (* order-equivalent to pram *)
+  | _ -> (
+    match split_tail "session:" with
+    | Some parts -> (
+      try
+        Ok
+          (Session
+             (List.map
+                (function
+                  | "ryw" -> Read_your_writes
+                  | "mr" -> Monotonic_reads
+                  | g -> failwith g)
+                parts))
+      with Failure g -> Error (Printf.sprintf "unknown session guarantee %S (want ryw|mr)" g))
+    | None -> (
+      match split_tail "group:" with
+      | Some parts -> (
+        try Ok (Group (List.map int_of_string parts))
+        with Failure _ -> Error "group members must be integers: group:0,1,...")
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown model %S (want \
+              sc|linearizable|causal|mixed|processor|cache|pram|slow|group:0,1|session:ryw,mr)"
+             s)))
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)
+
+(* the default bench / documentation ladder, weakest first *)
+let ladder =
+  [
+    Session [ Read_your_writes; Monotonic_reads ];
+    Slow;
+    PRAM;
+    Cache;
+    Mixed;
+    Causal;
+    Processor;
+    SC;
+    Linearizable;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Relation construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let locs_of (o : Op.t) =
+  let add acc = function Some (l, _) -> l :: acc | None -> acc in
+  add (add [] (Op.writes_value o)) (Op.reads_value o)
+
+let share_loc a b =
+  let la = locs_of a in
+  List.exists (fun l -> List.mem l la) (locs_of b)
+
+let scope_admits scope ~reader =
+  match scope with
+  | S_none -> fun _ _ -> false
+  | S_reader -> fun sp np -> sp = reader || np = reader
+  | S_group g ->
+    let g = norm_group g in
+    fun sp np -> List.mem sp g || List.mem np g
+  | S_all -> fun _ _ -> true
+
+let scope_key = function
+  | S_none -> "n"
+  | S_reader -> "r"
+  | S_group g -> "g" ^ String.concat "," (List.map string_of_int (norm_group g))
+  | S_all -> "*"
+
+let axioms_key ax ~reader =
+  let po =
+    match ax.po with
+    | Po_none -> "n"
+    | Po_session { ryw; mr } -> Printf.sprintf "s%b%b" ryw mr
+    | Po_per_location -> "l"
+    | Po_global -> "*"
+  in
+  let wo =
+    match ax.wo with Wo_none -> "n" | Wo_per_location -> "l" | Wo_global -> "*"
+  in
+  Printf.sprintf "lat|po=%s|wi=%s|sy=%s|wo=%s|rt=%b|i=%d" po (scope_key ax.wi)
+    (scope_key ax.sync) wo ax.rt reader
+
+(* chain consecutive elements; the transitive closure totally orders
+   them. Ids ascend, so the chain is the sim-time order. *)
+let chain rel = function
+  | [] | [ _ ] -> ()
+  | first :: rest -> ignore (List.fold_left (fun p x -> Relation.add rel p x; x) first rest)
+
+let build h ax ~reader =
+  let n = History.length h in
+  let ops = History.ops h in
+  let e = Relation.create n in
+  let add_filtered src keep =
+    Relation.fold src (fun () i j -> if keep i j then Relation.add e i j) ()
+  in
+  (match ax.po with
+  | Po_none -> ()
+  | Po_global -> add_filtered (History.program_order h) (fun _ _ -> true)
+  | Po_per_location ->
+    (* same-location edges; synchronization operations act as fences *)
+    add_filtered (History.program_order h) (fun i j ->
+        let a = ops.(i) and b = ops.(j) in
+        Op.is_sync a || Op.is_sync b || share_loc a b)
+  | Po_session { ryw; mr } ->
+    add_filtered (History.program_order h) (fun i j ->
+        let a = ops.(i) and b = ops.(j) in
+        a.Op.proc = reader && b.Op.proc = reader
+        && Op.is_memory_read b
+        && ((ryw && Op.is_write_like a) || (mr && Op.is_memory_read a))));
+  (let admits = scope_admits ax.wi ~reader in
+   add_filtered (History.reads_from h) (fun i j ->
+       admits ops.(i).Op.proc ops.(j).Op.proc));
+  (match ax.sync with
+  | S_none -> ()
+  | sc ->
+    let admits = scope_admits sc ~reader in
+    add_filtered (History.sync_order_reduced h) (fun i j ->
+        admits ops.(i).Op.proc ops.(j).Op.proc));
+  (match ax.wo with
+  | Wo_none -> ()
+  | Wo_per_location ->
+    let by_loc = Hashtbl.create 16 in
+    Array.iter
+      (fun (o : Op.t) ->
+        match Op.writes_value o with
+        | Some (loc, _) ->
+          Hashtbl.replace by_loc loc
+            (o.Op.id :: Option.value ~default:[] (Hashtbl.find_opt by_loc loc))
+        | None -> ())
+      ops;
+    Hashtbl.iter (fun _ ids -> chain e (List.rev ids)) by_loc
+  | Wo_global ->
+    let writes = ref [] in
+    Array.iter (fun (o : Op.t) -> if Op.is_write_like o then writes := o.Op.id :: !writes) ops;
+    chain e (List.rev !writes));
+  if ax.rt then chain e (List.init n Fun.id);
+  e
+
+let validate_scope h ~reader = function
+  | S_group g ->
+    if not (List.mem reader g) then
+      invalid_arg "Lattice.relation: reader must be a group member";
+    List.iter
+      (fun m ->
+        if m < 0 || m >= History.procs h then
+          invalid_arg "Lattice.relation: group member out of range")
+      g
+  | S_none | S_reader | S_all -> ()
+
+let relation h ax ~reader =
+  validate_scope h ~reader ax.wi;
+  validate_scope h ~reader ax.sync;
+  History.cached_relation h (axioms_key ax ~reader) (fun () ->
+      let tc = Relation.transitive_closure (build h ax ~reader) in
+      Relation.restrict tc (fun id ->
+          let o = History.op h id in
+          not (Op.is_memory_read o && o.Op.proc <> reader)))
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type failure = { read_id : int; verdict : Read_rule.verdict }
+
+let augment_group ~reader g = norm_group (reader :: g)
+
+let verdict_at h label ~read_id =
+  let reader = (History.op h read_id).Op.proc in
+  Read_rule.check h (relation h (axioms_of_label label) ~reader) ~read_id
+
+let verdict h model ~read_id =
+  let o = History.op h read_id in
+  let reader = o.Op.proc in
+  match model with
+  | Mixed -> (
+    match o.Op.kind with
+    | Op.Read { label; _ } -> verdict_at h label ~read_id
+    | _ -> invalid_arg "Read_rule.check: not a memory read")
+  | Group g ->
+    Read_rule.check h
+      (relation h (axioms_of (Group (augment_group ~reader g))) ~reader)
+      ~read_id
+  | m -> Read_rule.check h (relation h (axioms_of m) ~reader) ~read_id
+
+let failures h model =
+  let acc = ref [] in
+  Array.iter
+    (fun (o : Op.t) ->
+      if Op.is_memory_read o then
+        match verdict h model ~read_id:o.Op.id with
+        | Read_rule.Valid -> ()
+        | v -> acc := { read_id = o.Op.id; verdict = v } :: !acc)
+    (History.ops h);
+  List.rev !acc
+
+let is_consistent h model = failures h model = []
+
+let pp_failure fmt { read_id; verdict } =
+  Format.fprintf fmt "read %d: %a" read_id Read_rule.pp_verdict verdict

@@ -1,3 +1,6 @@
+(* Thin wrapper over the lattice engine: the [Mixed] point of
+   Definition 4 checks every read at its own declared label. *)
+
 module History = Mc_history.History
 module Op = Mc_history.Op
 
@@ -9,13 +12,7 @@ let failures h =
     (fun (o : Op.t) ->
       match o.kind with
       | Op.Read { label; _ } -> (
-        let v =
-          match label with
-          | Op.PRAM -> Pram.verdict h ~read_id:o.id
-          | Op.Causal -> Causal.verdict h ~read_id:o.id
-          | Op.Group group -> Group.verdict h ~read_id:o.id ~group
-        in
-        match v with
+        match Lattice.verdict_at h label ~read_id:o.id with
         | Read_rule.Valid -> ()
         | v -> acc := { read_id = o.id; label; verdict = v } :: !acc)
       | _ -> ())

@@ -60,6 +60,30 @@ type lstate = {
 
 type resident = { r_proc : int; r_clk : int array array }
 
+(* Which lattice point every read is validated against. [Per_label] is
+   the seed behavior (the [Mixed] point of Definition 4); [Uniform m]
+   checks every memory read under model [m] regardless of its declared
+   label. *)
+type mode = Per_label | Uniform of Lattice.t
+
+(* Session-point state. A session relation keeps only the reader's own
+   selected program-order edges (write→read for read-your-writes,
+   read→read for monotonic reads) plus the reads-from edges touching
+   the reader, so every path to a read runs through the reader's own
+   earlier memory operations — chain clocks (whose ranks cover whole
+   program-order prefixes) over-approximate it. Instead each process
+   keeps its memory reads and writes per location, in program order
+   (finalization order within a process is program order: the stream's
+   U edges are finalized topologically), and the read rule is decided
+   directly on that structure. [sr_writers] records the writers of the
+   value a read returned, for reporting foreign-write interposers. *)
+type sess_rec = { sr_id : int; sr_value : Op.value; sr_writers : int list }
+
+type sess_state = {
+  se_reads : (Op.location, sess_rec list ref) Hashtbl.t; (* newest first *)
+  se_writes : (Op.location, sess_rec list ref) Hashtbl.t;
+}
+
 type stats = {
   ops_checked : int;
   reads_checked : int;
@@ -75,6 +99,10 @@ type stats = {
 type t = {
   t_procs : int;
   t_fams : int;
+  t_mode : mode;
+  sess_ryw : bool;
+  sess_mr : bool;
+  sess : sess_state array;
   group_idx : (int list, int) Hashtbl.t;
   group_mem : bool array array;
   clocks : (int, resident) Hashtbl.t;
@@ -129,8 +157,37 @@ let fam_of_label t ~reader = function
           invalid_arg
             "Online: unregistered reader group (pass it via ~groups)"))
 
-let make ~procs ?(groups = []) () =
+(* Lattice points the streaming engine can express as chain-clock
+   families. The witness-based points (SC, linearizable, processor,
+   cache, slow) need sim-time write/real-time orders that are not
+   incremental here — check those offline with [Lattice.failures]. *)
+let supports = function
+  | Lattice.Causal | Lattice.PRAM | Lattice.Mixed | Lattice.Group _
+  | Lattice.Session _ ->
+    true
+  | Lattice.SC | Lattice.Linearizable | Lattice.Processor | Lattice.Cache
+  | Lattice.Slow ->
+    false
+
+let make ~procs ?(groups = []) ?model () =
   if procs <= 0 then invalid_arg "Online.make: need at least one process";
+  let mode = match model with None -> Per_label | Some m -> Uniform m in
+  (match mode with
+  | Uniform m when not (supports m) ->
+    invalid_arg
+      (Printf.sprintf
+         "Online.make: model %s is not streamable (sim-time witness \
+          orders); use the offline Lattice checker"
+         (Lattice.to_string m))
+  | _ -> ());
+  let groups =
+    (* a uniform group point checks every reader against its own
+       reader-augmented group *)
+    match mode with
+    | Uniform (Lattice.Group g) ->
+      List.init procs (fun i -> List.sort_uniq compare (i :: g)) @ groups
+    | _ -> groups
+  in
   let canonical =
     List.sort_uniq compare (List.map (List.sort_uniq compare) groups)
   in
@@ -146,9 +203,17 @@ let make ~procs ?(groups = []) () =
         match g with [] -> invalid_arg "Online.make: empty group" | [ _ ] -> false | _ -> g <> all)
       canonical
   in
+  let sessions = match mode with Uniform (Lattice.Session _) -> true | _ -> false in
   let n_fams = 1 + procs + List.length real in
   if n_fams > 62 then
     invalid_arg "Online.make: too many consistency families (max 62)";
+  let sess_ryw, sess_mr =
+    match mode with
+    | Uniform (Lattice.Session gs) ->
+      ( List.mem Lattice.Read_your_writes gs,
+        List.mem Lattice.Monotonic_reads gs )
+    | _ -> (false, false)
+  in
   let group_idx = Hashtbl.create 8 in
   let group_mem =
     Array.of_list
@@ -163,6 +228,14 @@ let make ~procs ?(groups = []) () =
   {
     t_procs = procs;
     t_fams = n_fams;
+    t_mode = mode;
+    sess_ryw;
+    sess_mr;
+    sess =
+      (if sessions then
+         Array.init procs (fun _ ->
+             { se_reads = Hashtbl.create 8; se_writes = Hashtbl.create 8 })
+       else [||]);
     group_idx;
     group_mem;
     clocks = Hashtbl.create 256;
@@ -179,7 +252,7 @@ let make ~procs ?(groups = []) () =
   }
 
 (* Does family [f] include a sync / reads-from edge with these endpoint
-   processes? Program-order edges are always included. *)
+   processes? Program-order edges are included in every family. *)
 let edge_in_fam t f ~sp ~np =
   if f = fam_causal then true
   else if f <= t.t_procs then
@@ -188,6 +261,8 @@ let edge_in_fam t f ~sp ~np =
   else
     let g = t.group_mem.(f - 1 - t.t_procs) in
     g.(sp) || g.(np)
+
+let sync_edge_in_fam = edge_in_fam
 
 let join_into dst src =
   let n = min (Array.length dst) (Array.length src) in
@@ -272,6 +347,119 @@ let verdict t (op : Op.t) strict ~loc ~value ~fam =
         | Some fo -> Read_rule.Overwritten fo.f_id
         | None -> assert false))
 
+(* --- the read rule at a session point -------------------------------- *)
+
+(* Replicates [Read_rule.check] under [Lattice.axioms_of (Session gs)]:
+   the relation is the reads-from edges touching the reader plus the
+   reader's own write→read (ryw) / read→read (mr) edges, so
+
+   - a real candidate writer [w] reaches an interposer o(x)u only
+     through one of the reader's own reads: w →rf r1(x)v →mr o →mr r,
+     or (own write, ryw) w →ryw o →mr r;
+   - against the virtual initial write, the reader's own earlier reads
+     (mr) and writes (ryw) of another value interpose, as do the
+     foreign writers of a value an earlier read returned (rf;mr).
+
+   Ids are compared to pick the same (smallest-id) interposer as the
+   offline scan. Under the unique-writes assumption of Section 3 the
+   writers a read's verdict consulted are exactly the streamed
+   summaries at its finalization. *)
+let session_verdict t (op : Op.t) ~loc ~value =
+  let st = t.sess.(op.proc) in
+  let recs tbl =
+    match Hashtbl.find_opt tbl loc with Some l -> List.rev !l | None -> []
+  in
+  let reads = recs st.se_reads and writes = recs st.se_writes in
+  let cands =
+    match Hashtbl.find_opt t.sums (loc, value) with
+    | Some l -> List.map (fun s -> (s.s_id, s.s_proc)) !l (* id ascending *)
+    | None -> []
+  in
+  let min_id = function
+    | [] -> None
+    | ids -> Some (List.fold_left min max_int ids)
+  in
+  let interposers (w_id, w_proc) =
+    if not t.sess_mr then []
+    else
+      let later_other_reads from_id =
+        List.filter_map
+          (fun r ->
+            if r.sr_id > from_id && r.sr_value <> value then Some r.sr_id
+            else None)
+          reads
+      in
+      (match List.find_opt (fun r -> r.sr_value = value) reads with
+      | Some rv -> later_other_reads rv.sr_id
+      | None -> [])
+      @
+      if
+        t.sess_ryw && w_proc = op.proc
+        && List.exists (fun w -> w.sr_id = w_id) writes
+      then later_other_reads w_id
+      else []
+  in
+  let rec first_valid = function
+    | [] -> None
+    | c :: rest -> if interposers c = [] then Some c else first_valid rest
+  in
+  match first_valid cands with
+  | Some _ -> Read_rule.Valid
+  | None -> (
+    if value = 0 then
+      (* virtual initial write *)
+      let virt =
+        (if t.sess_mr then
+           List.concat_map
+             (fun r ->
+               if r.sr_value <> value then r.sr_id :: r.sr_writers else [])
+             reads
+         else [])
+        @
+        if t.sess_ryw then
+          List.filter_map
+            (fun w -> if w.sr_value <> value then Some w.sr_id else None)
+            writes
+        else []
+      in
+      match min_id virt with
+      | None -> Read_rule.Valid
+      | Some o -> Read_rule.Overwritten o
+    else
+      match cands with
+      | [] -> Read_rule.No_matching_write
+      | c :: _ -> (
+        match min_id (interposers c) with
+        | Some o -> Read_rule.Overwritten o
+        | None -> assert false))
+
+(* the reader's own finalized memory operations, per location, in
+   program order — consulted by [session_verdict] for later reads *)
+let session_register t (op : Op.t) =
+  if Array.length t.sess > 0 then begin
+    let st = t.sess.(op.proc) in
+    let push tbl loc r =
+      match Hashtbl.find_opt tbl loc with
+      | Some l -> l := r :: !l
+      | None -> Hashtbl.add tbl loc (ref [ r ])
+    in
+    (* awaits never carry session edges: they are neither memory reads
+       (mr) nor write-like (ryw), so only [Op.Read] enters [se_reads] *)
+    (match (Op.is_memory_read op, Op.reads_value op) with
+    | true, Some (loc, v) ->
+      let sr_writers =
+        match Hashtbl.find_opt t.sums (loc, v) with
+        | Some l -> List.map (fun s -> s.s_id) !l
+        | None -> []
+      in
+      push st.se_reads loc { sr_id = op.id; sr_value = v; sr_writers }
+    | _ -> ());
+    match Op.writes_value op with
+    | Some (loc, v) ->
+      push st.se_writes loc { sr_id = op.id; sr_value = v; sr_writers = [] }
+    | None -> ()
+  end
+
 (* --- finalization ---------------------------------------------------- *)
 
 let finalize t (info : Stream.info) =
@@ -279,9 +467,9 @@ let finalize t (info : Stream.info) =
   t.ops_checked <- t.ops_checked + 1;
   if info.Stream.chain + 1 > t.ch then t.ch <- info.Stream.chain + 1;
   let strict = Array.init t.t_fams (fun _ -> Array.make t.ch 0) in
-  let join_filtered clk ~sp =
+  let join_filtered ~filter clk ~sp =
     for f = 0 to t.t_fams - 1 do
-      if edge_in_fam t f ~sp ~np:op.proc then join_into strict.(f) clk.(f)
+      if filter t f ~sp ~np:op.proc then join_into strict.(f) clk.(f)
     done
   in
   List.iter
@@ -292,12 +480,12 @@ let finalize t (info : Stream.info) =
         Array.iteri (fun f d -> join_into d r.r_clk.(f)) strict
       | Stream.S s ->
         let r = resident t s in
-        join_filtered r.r_clk ~sp:r.r_proc
+        join_filtered ~filter:sync_edge_in_fam r.r_clk ~sp:r.r_proc
       | Stream.RF s -> (
         match Op.reads_value op with
         | Some (loc, value) ->
           let sm = rf_summary t ~loc ~value s in
-          join_filtered sm.s_clk ~sp:sm.s_proc
+          join_filtered ~filter:edge_in_fam sm.s_clk ~sp:sm.s_proc
         | None -> ()))
     info.Stream.in_edges;
   (* read validation, before this op registers as its own interposer *)
@@ -308,13 +496,30 @@ let finalize t (info : Stream.info) =
     | Op.PRAM -> t.pram_reads <- t.pram_reads + 1
     | Op.Causal -> t.causal_reads <- t.causal_reads + 1
     | Op.Group _ -> t.group_reads <- t.group_reads + 1);
-    let fam = fam_of_label t ~reader:op.proc label in
-    (match verdict t op strict ~loc ~value ~fam with
+    let v =
+      match t.t_mode with
+      | Uniform (Lattice.Session _) -> session_verdict t op ~loc ~value
+      | _ ->
+        let fam =
+          match t.t_mode with
+          | Per_label | Uniform Lattice.Mixed ->
+            fam_of_label t ~reader:op.proc label
+          | Uniform Lattice.Causal -> fam_causal
+          | Uniform Lattice.PRAM -> 1 + op.proc
+          | Uniform (Lattice.Group g) ->
+            fam_of_label t ~reader:op.proc
+              (Op.Group (List.sort_uniq compare (op.proc :: g)))
+          | Uniform _ -> assert false (* rejected by [make] *)
+        in
+        verdict t op strict ~loc ~value ~fam
+    in
+    (match v with
     | Read_rule.Valid -> ()
     | v ->
       t.failures <-
         { Mixed.read_id = op.id; label; verdict = v } :: t.failures)
   | _ -> ());
+  session_register t op;
   (* interposer registration *)
   (match
      match (Op.writes_value op, Op.reads_value op) with
@@ -408,8 +613,8 @@ let callbacks t =
 
 (* --- public API ------------------------------------------------------ *)
 
-let create ~procs ?groups () =
-  let t = make ~procs ?groups () in
+let create ~procs ?groups ?model () =
+  let t = make ~procs ?groups ?model () in
   let e = Stream.create ~procs (callbacks t) in
   t.t_engine <- Some e;
   t
@@ -467,10 +672,10 @@ let groups_of_history h =
     (History.ops h);
   !acc
 
-let check ?groups h =
+let check ?groups ?model h =
   let groups =
     match groups with Some g -> g | None -> groups_of_history h
   in
-  let t = create ~procs:(History.procs h) ~groups () in
+  let t = create ~procs:(History.procs h) ~groups ?model () in
   Stream.replay (engine t) h;
   t

@@ -32,12 +32,26 @@ type stats = {
   live_summaries : int;  (** writer summaries not yet reclaimed *)
 }
 
-(** [create ~procs ?groups ()] makes a checker with its own
+(** [supports m]: can the streaming engine validate lattice point [m]?
+    True for [Causal], [PRAM], [Mixed] and [Group _] (chain-clock
+    families) and for [Session _] (decided directly on the reader's own
+    per-location read/write timeline, which every path of a session
+    relation runs through). False for the sim-time witness points
+    ([SC], [Linearizable], [Processor], [Cache], [Slow]), whose total
+    write / real-time orders are not incremental here — check those
+    offline with {!Lattice.failures}. *)
+val supports : Lattice.t -> bool
+
+(** [create ~procs ?groups ?model ()] makes a checker with its own
     {!Mc_history.Stream} engine. [groups] lists the reader groups that
     [Group]-labeled reads may use (order and duplicates irrelevant).
-    Raises [Invalid_argument] for out-of-range members, empty groups or
-    more than 62 consistency families. *)
-val create : procs:int -> ?groups:int list list -> unit -> t
+    Without [model] every read is checked at its declared label (the
+    seed [Mixed] behavior); with [model] every memory read is checked
+    under that single lattice point instead ([Group g] is implicitly
+    reader-augmented per read). Raises [Invalid_argument] for
+    out-of-range members, empty groups, more than 62 consistency
+    families, or a model [supports] rejects. *)
+val create : procs:int -> ?groups:int list list -> ?model:Lattice.t -> unit -> t
 
 (** [sink t] adapts the checker for [Recorder.subscribe]: operations are
     validated online as their causal covering past completes. *)
@@ -46,13 +60,15 @@ val sink : t -> Mc_history.Sink.t
 (** The checker's underlying engine (for window statistics). *)
 val engine : t -> Mc_history.Stream.t
 
-(** [check ?groups h] replays a materialized history through a fresh
-    checker. When [groups] is omitted the groups are harvested from the
-    history's read labels. *)
-val check : ?groups:int list list -> Mc_history.History.t -> t
+(** [check ?groups ?model h] replays a materialized history through a
+    fresh checker. When [groups] is omitted the groups are harvested
+    from the history's read labels. *)
+val check : ?groups:int list list -> ?model:Lattice.t -> Mc_history.History.t -> t
 
 (** Invalid reads seen so far, in ascending id order — equal to
-    [Mixed.failures (Mixed.check h)] after a full replay. *)
+    [Mixed.failures h] after a full replay (or, under a uniform
+    [~model], to [Lattice.failures h model]; the [label] field then
+    still records each read's declared label). *)
 val failures : t -> Mixed.failure list
 
 val is_consistent : t -> bool

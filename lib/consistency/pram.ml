@@ -1,24 +1,16 @@
-module History = Mc_history.History
-module Op = Mc_history.Op
+(* Thin wrapper over the lattice engine: the [PRAM] point is the
+   per-reader relation of Definition 3. *)
 
 type failure = { read_id : int; verdict : Read_rule.verdict }
 
-let verdict h ~read_id =
-  let proc = (History.op h read_id).Op.proc in
-  Read_rule.check h (History.pram_relation h proc) ~read_id
-
+let verdict h ~read_id = Lattice.verdict_at h Mc_history.Op.PRAM ~read_id
 let is_pram_read h ~read_id = verdict h ~read_id = Read_rule.Valid
 
 let failures h =
-  let acc = ref [] in
-  Array.iter
-    (fun (o : Op.t) ->
-      if Op.is_memory_read o then
-        match verdict h ~read_id:o.id with
-        | Read_rule.Valid -> ()
-        | v -> acc := { read_id = o.id; verdict = v } :: !acc)
-    (History.ops h);
-  List.rev !acc
+  List.map
+    (fun (f : Lattice.failure) ->
+      { read_id = f.Lattice.read_id; verdict = f.Lattice.verdict })
+    (Lattice.failures h Lattice.PRAM)
 
 let is_pram_history h = failures h = []
 

@@ -6,6 +6,7 @@ type t = {
   propagation : propagation;
   record : bool;
   check_online : bool;
+  check_model : Mc_consistency.Lattice.t option;
   await_label : Mc_history.Op.label;
   op_cost : float;
   update_bytes : int;
@@ -28,6 +29,7 @@ let default ~procs =
     propagation = Lazy;
     record = false;
     check_online = false;
+    check_model = None;
     await_label = Mc_history.Op.Causal;
     op_cost = 0.1;
     update_bytes = 64;

@@ -45,6 +45,12 @@ type t = {
           the in-flight window. Independent of [record]: with [record]
           false the recorder runs in streaming-only mode and
           [Runtime.history] is unavailable. *)
+  check_model : Mc_consistency.Lattice.t option;
+      (** lattice point the online checker validates every memory read
+          under, instead of each read's declared label. Only points with
+          [Mc_consistency.Online.supports] may be used here (the
+          witness-based ones need the offline [Lattice.failures]).
+          Ignored unless [check_online] is set. *)
   await_label : Mc_history.Op.label;
       (** which view an await polls: [Causal] (default; satisfies the
           await only once the witnessed write is causally applied) or

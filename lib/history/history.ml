@@ -14,6 +14,9 @@ type t = {
   mutable causality_memo : Relation.t option;
   causal_rel_memo : Relation.t option array;
   pram_rel_memo : Relation.t option array;
+  (* string-keyed memo for relations derived by other layers (the
+     lattice engine caches one relation per (model, reader) here) *)
+  rel_cache : (string, Relation.t) Hashtbl.t;
 }
 
 let create ~procs ops =
@@ -51,6 +54,7 @@ let create ~procs ops =
     causality_memo = None;
     causal_rel_memo = Array.make procs None;
     pram_rel_memo = Array.make procs None;
+    rel_cache = Hashtbl.create 8;
   }
 
 let procs t = t.procs
@@ -61,6 +65,14 @@ let initial_value _t _loc = 0
 
 let writers_of t loc v =
   Option.value ~default:[] (Hashtbl.find_opt t.writers (loc, v)) |> List.sort compare
+
+let cached_relation t key compute =
+  match Hashtbl.find_opt t.rel_cache key with
+  | Some r -> r
+  | None ->
+    let r = compute () in
+    Hashtbl.add t.rel_cache key r;
+    r
 
 (* Memoization helper over the mutable record fields. *)
 let with_memo get set t compute =

@@ -127,4 +127,10 @@ val group_relation : t -> reader:int -> group:int list -> Mc_util.Relation.t
     value [v] at [loc]. With unique writes there is at most one. *)
 val writers_of : t -> Op.location -> Op.value -> int list
 
+(** [cached_relation h key compute] memoizes [compute ()] on the history
+    under [key]. Histories are immutable, so derived relations built by
+    other layers (e.g. the per-(model, reader) relations of
+    [Mc_consistency.Lattice]) can be cached here without recomputation. *)
+val cached_relation : t -> string -> (unit -> Mc_util.Relation.t) -> Mc_util.Relation.t
+
 val pp : Format.formatter -> t -> unit

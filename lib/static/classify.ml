@@ -422,3 +422,296 @@ let classify (sr : Srace.t) =
           failing = None;
           reads = reports;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Weakest lattice model (ISSUE 7 tentpole, layer 2)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The static mirror of [Mc_consistency.Lattice.t], restricted to the
+   points a Pir program can require: groups carry symbolic terms, and
+   the session points below PRAM are reachable by *weakening* an
+   inferred label when a read provably has no conflicting foreign
+   write. [M_session {ryw; mr}] keeps only the selected session
+   guarantees; [M_session {false; false}] is the lattice bottom. *)
+type lmodel =
+  | M_session of { ryw : bool; mr : bool }
+  | M_pram
+  | M_group of Pir.term list
+  | M_causal
+
+let model_strength = function
+  | M_session _ -> 0
+  | M_pram -> 1
+  | M_group _ -> 2
+  | M_causal -> 3
+
+let lmodel_to_string = function
+  | M_session { ryw; mr } -> (
+    match (ryw, mr) with
+    | false, false -> "session:none"
+    | true, false -> "session:ryw"
+    | false, true -> "session:mr"
+    | true, true -> "session:ryw,mr")
+  | M_pram -> "pram"
+  | M_group ts ->
+    "group:" ^ String.concat "," (List.map Pir.term_to_string ts)
+  | M_causal -> "causal"
+
+let model_leq a b =
+  match (a, b) with
+  | M_session ga, M_session gb ->
+    (ga.ryw <= gb.ryw) && (ga.mr <= gb.mr)
+  | M_group ta, M_group tb ->
+    List.for_all (fun t -> List.mem t (group_strings tb)) (group_strings ta)
+  | _ -> model_strength a <= model_strength b
+
+let model_join a b =
+  if model_leq a b then b
+  else if model_leq b a then a
+  else
+    match (a, b) with
+    | M_session ga, M_session gb ->
+      M_session { ryw = ga.ryw || gb.ryw; mr = ga.mr || gb.mr }
+    | (M_group _ | M_session _ | M_pram), (M_group _ | M_session _ | M_pram)
+      ->
+      M_causal (* incomparable groups: escalate, as [join_label] does *)
+    | _ -> M_causal
+
+(* can an own (same-role, same-instance) write alias the read's
+   location? Then dropping read-your-writes would let the read miss its
+   own process's value. *)
+let own_write_overlap (sr : Srace.t) (r : Summary.access) =
+  let actx = sr.Srace.actx in
+  let ctx = actx.Summary.ctx in
+  List.exists
+    (fun (w : Summary.access) ->
+      Summary.is_write w
+      && w.Summary.role = r.Summary.role
+      && List.exists
+           (fun inst ->
+             let xw = Summary.instantiate actx w inst in
+             let xr = Summary.instantiate actx r inst in
+             match Summary.loc_eqs xw xr with
+             | None -> false
+             | Some eqs -> Sym.satisfiable ctx eqs)
+           (Summary.insts_of_role actx r.Summary.role))
+    actx.Summary.summary.Summary.accesses
+
+type read_model = {
+  rm_acc : Summary.access;
+  rm_model : lmodel;
+  rm_proof : string;
+}
+
+(* per-read weakest lattice point: the inferred label, weakened below
+   PRAM when the read provably has no conflicting foreign write at any
+   instance — then its unique candidate writer is model-independent, so
+   only the reader's own session guarantees can matter *)
+let read_model (sr : Srace.t) (rr : read_report) =
+  let actx = sr.Srace.actx in
+  let r = rr.racc in
+  let conflict_free =
+    List.for_all
+      (fun inst -> conflicts_of sr r inst = [])
+      (Summary.insts_of_role actx r.Summary.role)
+  in
+  if conflict_free then
+    if own_write_overlap sr r then
+      {
+        rm_acc = r;
+        rm_model = M_session { ryw = true; mr = false };
+        rm_proof =
+          "no conflicting foreign write; an own write may alias, so \
+           read-your-writes must hold";
+      }
+    else
+      {
+        rm_acc = r;
+        rm_model = M_session { ryw = false; mr = false };
+        rm_proof =
+          "no write conflicts with this read: its candidate writer is \
+           the same under every model";
+      }
+  else
+    let m =
+      match rr.inferred with
+      | Pir.L_pram -> M_pram
+      | Pir.L_group ts -> M_group ts
+      | Pir.L_causal -> M_causal
+    in
+    { rm_acc = r; rm_model = m; rm_proof = rr.rproof }
+
+(* one row of the machine-checkable proof trace: which level of one
+   lattice axiom the program needs, why, and the read sites that force
+   it. The five axioms are exactly the fields of
+   [Mc_consistency.Lattice.axioms]; rebuilding a model from the [level]
+   column yields [weakest] again (the lattice differential test checks
+   this). *)
+type axiom_req = {
+  axiom : string;  (** po | wi | sync | wo | rt *)
+  level : string;
+  needed : bool;
+  reason : string;
+  sites : string list;
+}
+
+let axiom_table weakest read_models =
+  let sites pred =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun rm ->
+           if pred rm.rm_model then Some rm.rm_acc.Summary.site else None)
+         read_models)
+  in
+  let at_least k = sites (fun m -> model_strength m >= k) in
+  let po =
+    match weakest with
+    | M_session { ryw = false; mr = false } ->
+      {
+        axiom = "po";
+        level = "none";
+        needed = false;
+        reason = "no read depends on any other operation's position";
+        sites = [];
+      }
+    | M_session { ryw; mr } ->
+      {
+        axiom = "po";
+        level = lmodel_to_string (M_session { ryw; mr });
+        needed = true;
+        reason =
+          (if ryw then
+             "an own write may alias a later read of the same location \
+              (read-your-writes)"
+           else "reads must not lose writes an earlier read saw");
+        sites =
+          sites (function
+            | M_session { ryw = r'; mr = m' } -> (r' && ryw) || (m' && mr)
+            | _ -> false);
+      }
+    | _ ->
+      {
+        axiom = "po";
+        level = "global";
+        needed = true;
+        reason =
+          "a read has a conflicting foreign write: the writer's program \
+           order must reach the reader";
+        sites = at_least 1;
+      }
+  in
+  let wi =
+    match weakest with
+    | M_causal ->
+      {
+        axiom = "wi";
+        level = "all";
+        needed = true;
+        reason =
+          "a causal read needs writes-into edges between foreign \
+           processes (Definition 2)";
+        sites = sites (fun m -> model_strength m >= 3);
+      }
+    | M_group ts ->
+      {
+        axiom = "wi";
+        level = "group:" ^ String.concat "," (List.map Pir.term_to_string ts);
+        needed = true;
+        reason =
+          "a group read needs writes-into edges among its group members \
+           (Section 3.2)";
+        sites = sites (fun m -> model_strength m >= 2);
+      }
+    | _ ->
+      {
+        axiom = "wi";
+        level = "reader";
+        needed = true;
+        reason =
+          "every model keeps the reads-from edges incident to the reader";
+        sites = [];
+      }
+  in
+  let sync =
+    match weakest with
+    | M_causal ->
+      {
+        axiom = "sync";
+        level = "all";
+        needed = true;
+        reason =
+          "lock-, gate- or unordered-witnessed conflicts route through \
+           synchronization chains between foreign processes";
+        sites = sites (fun m -> model_strength m >= 3);
+      }
+    | M_group ts ->
+      {
+        axiom = "sync";
+        level = "group:" ^ String.concat "," (List.map Pir.term_to_string ts);
+        needed = true;
+        reason =
+          "handshake edges within the reader's group order the \
+           skeleton-witnessed conflicts";
+        sites = sites (fun m -> model_strength m >= 2);
+      }
+    | M_pram ->
+      {
+        axiom = "sync";
+        level = "reader";
+        needed = true;
+        reason =
+          "barrier-ordered conflicts route through the reader's own \
+           synchronization operations";
+        sites = at_least 1;
+      }
+    | M_session _ ->
+      {
+        axiom = "sync";
+        level = "none";
+        needed = false;
+        reason = "no conflict needs a synchronization chain";
+        sites = [];
+      }
+  in
+  let wo =
+    {
+      axiom = "wo";
+      level = "none";
+      needed = false;
+      reason =
+        "unique writes (Section 3): no read needs a total order over \
+         other processes' writes";
+      sites = [];
+    }
+  in
+  let rt =
+    {
+      axiom = "rt";
+      level = "none";
+      needed = false;
+      reason =
+        "verdicts are independent of the real-time interleaving; no \
+         linearizability constraint";
+      sites = [];
+    }
+  in
+  [ po; wi; sync; wo; rt ]
+
+type lattice_report = {
+  weakest : lmodel;
+  read_models : read_model list;
+  axioms : axiom_req list;
+}
+
+(* the weakest uniform lattice point the program provably tolerates:
+   the join of the per-read requirements (bottom when there are no
+   reads) *)
+let infer_lattice (sr : Srace.t) (cl : t) =
+  let read_models = List.map (read_model sr) cl.reads in
+  let weakest =
+    List.fold_left
+      (fun acc rm -> model_join acc rm.rm_model)
+      (M_session { ryw = false; mr = false })
+      read_models
+  in
+  { weakest; read_models; axioms = axiom_table weakest read_models }

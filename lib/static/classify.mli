@@ -34,3 +34,60 @@ val strength : Pir.rlabel -> int
     whatever the inferred one validates (groups compare by term-set
     inclusion). *)
 val label_geq : declared:Pir.rlabel -> inferred:Pir.rlabel -> bool
+
+(** {1 Weakest lattice model (ISSUE 7)} *)
+
+(** The static mirror of [Mc_consistency.Lattice.t], restricted to the
+    points a Pir program can require: groups carry symbolic terms, and
+    the session points below PRAM are reached by weakening a read whose
+    conflicting-write set is provably empty. *)
+type lmodel =
+  | M_session of { ryw : bool; mr : bool }
+  | M_pram
+  | M_group of Pir.term list
+  | M_causal
+
+val model_strength : lmodel -> int
+val lmodel_to_string : lmodel -> string
+
+(** Lattice order on the static points: session guarantees compare
+    pointwise, groups by term-set inclusion, otherwise by strength. *)
+val model_leq : lmodel -> lmodel -> bool
+
+(** Least upper bound; incomparable groups escalate to [M_causal], as
+    {!label_geq}'s join does. *)
+val model_join : lmodel -> lmodel -> lmodel
+
+type read_model = {
+  rm_acc : Summary.access;
+  rm_model : lmodel;  (** weakest point sufficing for this read *)
+  rm_proof : string;  (** one-line justification *)
+}
+
+(** One row of the machine-checkable proof trace: the level of one
+    lattice axiom the program needs, why, and the read sites forcing
+    it. The five rows are exactly the fields of
+    [Mc_consistency.Lattice.axioms]; rebuilding a model from the
+    [level] column yields [weakest] again. *)
+type axiom_req = {
+  axiom : string;  (** po | wi | sync | wo | rt *)
+  level : string;
+  needed : bool;
+  reason : string;
+  sites : string list;
+}
+
+type lattice_report = {
+  weakest : lmodel;  (** join of the per-read requirements *)
+  read_models : read_model list;
+  axioms : axiom_req list;
+}
+
+(** [infer_lattice sr cl] is the weakest uniform lattice point the
+    program provably tolerates, with its per-read decomposition and
+    per-axiom proof trace. Sound alongside any {!verdict}: a read keeps
+    its inferred label unless its conflicting-write set is empty at
+    every instance, in which case its candidate writer is
+    model-independent and only the reader's own session guarantees can
+    matter. *)
+val infer_lattice : Srace.t -> t -> lattice_report

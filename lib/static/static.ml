@@ -12,6 +12,7 @@ type report = {
   verdict_proof : string;
   srace : Srace.t;
   reads : Classify.read_report list;
+  lattice : Classify.lattice_report;
   diags : Diag.t list;
 }
 
@@ -108,6 +109,7 @@ let analyze (prog : Pir.t) =
     verdict_proof = cl.Classify.verdict_proof;
     srace = sr;
     reads = cl.Classify.reads;
+    lattice = Classify.infer_lattice sr cl;
     diags = diags_of prog sr cl;
   }
 
@@ -121,7 +123,7 @@ let count sev r =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let pp ?(proof = false) fmt r =
+let pp ?(proof = false) ?(lattice = false) fmt r =
   Format.fprintf fmt "%s: %s@." r.program
     (Classify.verdict_to_string r.verdict);
   if proof then begin
@@ -134,6 +136,28 @@ let pp ?(proof = false) fmt r =
           (Pir.label_to_string rr.Classify.inferred)
           rr.Classify.rproof)
       r.reads
+  end;
+  if lattice then begin
+    let l = r.lattice in
+    Format.fprintf fmt "  weakest model: %s@."
+      (Classify.lmodel_to_string l.Classify.weakest);
+    List.iter
+      (fun (rm : Classify.read_model) ->
+        Format.fprintf fmt "  read %s: %s — %s@."
+          rm.Classify.rm_acc.Summary.site
+          (Classify.lmodel_to_string rm.Classify.rm_model)
+          rm.Classify.rm_proof)
+      l.Classify.read_models;
+    List.iter
+      (fun (a : Classify.axiom_req) ->
+        Format.fprintf fmt "  axiom %-4s %-12s %s — %s%s@." a.Classify.axiom
+          a.Classify.level
+          (if a.Classify.needed then "needed" else "not needed")
+          a.Classify.reason
+          (match a.Classify.sites with
+          | [] -> ""
+          | sites -> " [" ^ String.concat "; " sites ^ "]"))
+      l.Classify.axioms
   end;
   List.iter (fun d -> Format.fprintf fmt "%a@." Diag.pp d) r.diags;
   Format.fprintf fmt "%s: %d error(s), %d warning(s), %d info@." r.program
@@ -172,9 +196,42 @@ let to_json r =
     | Classify.Theorem1 -> "theorem1"
     | Classify.Unproved _ -> "unproved"
   in
+  let lattice =
+    let l = r.lattice in
+    let rms =
+      List.map
+        (fun (rm : Classify.read_model) ->
+          Printf.sprintf "{\"site\":\"%s\",\"model\":\"%s\",\"proof\":\"%s\"}"
+            (json_escape rm.Classify.rm_acc.Summary.site)
+            (json_escape (Classify.lmodel_to_string rm.Classify.rm_model))
+            (json_escape rm.Classify.rm_proof))
+        l.Classify.read_models
+    in
+    let axioms =
+      List.map
+        (fun (a : Classify.axiom_req) ->
+          Printf.sprintf
+            "{\"axiom\":\"%s\",\"level\":\"%s\",\"needed\":%b,\"reason\":\"%s\",\"sites\":[%s]}"
+            (json_escape a.Classify.axiom)
+            (json_escape a.Classify.level)
+            a.Classify.needed
+            (json_escape a.Classify.reason)
+            (String.concat ","
+               (List.map
+                  (fun s -> Printf.sprintf "\"%s\"" (json_escape s))
+                  a.Classify.sites)))
+        l.Classify.axioms
+    in
+    Printf.sprintf
+      "{\"weakest\":\"%s\",\"reads\":[%s],\"axioms\":[%s]}"
+      (json_escape (Classify.lmodel_to_string l.Classify.weakest))
+      (String.concat "," rms)
+      (String.concat "," axioms)
+  in
   Printf.sprintf
-    "{\"program\":\"%s\",\"verdict\":\"%s\",\"proof\":\"%s\",\"races\":%d,\"reads\":[%s],\"diagnostics\":[%s]}"
+    "{\"program\":\"%s\",\"verdict\":\"%s\",\"proof\":\"%s\",\"races\":%d,\"reads\":[%s],\"lattice\":%s,\"diagnostics\":[%s]}"
     (json_escape r.program) verdict (json_escape r.verdict_proof)
     (List.length r.srace.Srace.races)
     (String.concat "," reads)
+    lattice
     (String.concat "," (List.map Diag.to_json r.diags))

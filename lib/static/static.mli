@@ -10,6 +10,9 @@ type report = {
   verdict_proof : string;
   srace : Srace.t;
   reads : Classify.read_report list;
+  lattice : Classify.lattice_report;
+      (** weakest lattice model the program provably tolerates, with
+          per-read decomposition and per-axiom proof trace *)
   diags : Mc_analysis.Diag.t list;
       (** sorted with [Mc_analysis.Diag.compare] *)
 }
@@ -20,8 +23,10 @@ val has_errors : report -> bool
 (** Number of diagnostics at exactly the given severity. *)
 val count : Mc_analysis.Diag.severity -> report -> int
 
-(** [pp ~proof] renders the verdict, (optionally) the per-read label
-    table with justifications, the diagnostics and a summary line. *)
-val pp : ?proof:bool -> Format.formatter -> report -> unit
+(** [pp ~proof ~lattice] renders the verdict, (optionally) the per-read
+    label table with justifications, (optionally) the weakest-model
+    section with its axiom table, the diagnostics and a summary
+    line. *)
+val pp : ?proof:bool -> ?lattice:bool -> Format.formatter -> report -> unit
 
 val to_json : report -> string

@@ -2,7 +2,8 @@
 """Guard the BENCH_CORE.json schema produced by observe=false bench runs.
 
 The observability layer must not change the shape of the core benchmark
-artifact: a run of the seed experiment set (``--exp delivery --exp online --exp static``)
+artifact: a run of the seed experiment set
+(``--exp delivery --exp online --exp static --exp lattice``)
 has to emit exactly the key paths recorded in ``bench_core_schema.txt``.
 Array elements are collapsed to ``[]`` so varying row counts (quick vs
 full sizes) do not affect the schema.
