@@ -10,133 +10,8 @@
      bench/main.exe --quick         smaller sweeps
      bench/main.exe --bechamel      also run the bechamel suite *)
 
-module Engine = Mc_sim.Engine
-module Runtime = Mc_dsm.Runtime
-module Config = Mc_dsm.Config
-module Api = Mc_dsm.Api
-module Network = Mc_net.Network
-module Latency = Mc_net.Latency
-module Op = Mc_history.Op
-module Central = Mc_baselines.Sc_central
-module Inval = Mc_baselines.Sc_invalidate
-module Solver = Mc_apps.Linear_solver
-module Em = Mc_apps.Em_field
-module Sparse = Mc_apps.Sparse_spd
-module Cholesky = Mc_apps.Cholesky
-module T = Mc_util.Tablefmt
-module Summary = Mc_util.Stats.Summary
 
-let quick = ref false
-let selected : string list ref = ref []
-let with_bechamel = ref false
-
-let wants name = !selected = [] || List.mem name !selected
-
-(* ------------------------------------------------------------------ *)
-(* BENCH_CORE.json writer                                              *)
-(* ------------------------------------------------------------------ *)
-
-(* Experiments append named sections here; the file is written once at
-   exit so several experiments can share it. Every workload below is
-   seeded with [bench_seed]. *)
-let bench_core_sections : (string * string) list ref = ref []
-let bench_seed = 42
-
-let bench_core_add name ~params body =
-  bench_core_sections :=
-    (name, Printf.sprintf "{\n    \"params\": %s,\n%s\n  }" params body)
-    :: !bench_core_sections
-
-let write_bench_core () =
-  if !bench_core_sections <> [] then begin
-    let oc = open_out "BENCH_CORE.json" in
-    Printf.fprintf oc
-      "{\n\
-      \  \"schema_version\": 2,\n\
-      \  \"seed\": %d,\n\
-      \  \"quick\": %b,\n\
-      \  \"argv\": [%s],\n\
-       %s\n\
-       }\n"
-      bench_seed !quick
-      (String.concat ", "
-         (List.map
-            (fun a -> Printf.sprintf "%S" a)
-            (List.tl (Array.to_list Sys.argv))))
-      (String.concat ",\n"
-         (List.rev_map
-            (fun (name, body) -> Printf.sprintf "  %S: %s" name body)
-            !bench_core_sections));
-    close_out oc;
-    print_endline "raw numbers: BENCH_CORE.json"
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Runners                                                             *)
-(* ------------------------------------------------------------------ *)
-
-type stats = {
-  time : float;
-  messages : int;
-  bytes : int;
-  waits : (string * Summary.t) list;
-}
-
-let run_mixed ?(procs = 4) ?(propagation = Config.Lazy) ?(timestamped = true)
-    ?(await_label = Op.Causal) ?(groups = []) ?multicast ?latency f =
-  let engine = Engine.create () in
-  let cfg =
-    {
-      (Config.default ~procs) with
-      propagation;
-      timestamped_updates = timestamped;
-      await_label;
-      groups;
-      multicast;
-    }
-  in
-  let rt = Runtime.create engine ?latency cfg in
-  let out = f rt (Api.spawn rt) in
-  let time = Runtime.run rt in
-  let net = Runtime.network rt in
-  ( out,
-    {
-      time;
-      messages = Network.messages_sent net;
-      bytes = Network.bytes_sent net;
-      waits = Runtime.wait_summaries rt;
-    } )
-
-let run_central ?(procs = 4) f =
-  let engine = Engine.create () in
-  let m = Central.create engine ~procs () in
-  let out = f (Central.spawn m) in
-  let time = Central.run m in
-  ( out,
-    {
-      time;
-      messages = Central.messages_sent m;
-      bytes = Central.bytes_sent m;
-      waits = Central.wait_summaries m;
-    } )
-
-let run_inval ?(procs = 4) f =
-  let engine = Engine.create () in
-  let m = Inval.create engine ~procs () in
-  let out = f (Inval.spawn m) in
-  let time = Inval.run m in
-  ( out,
-    {
-      time;
-      messages = Inval.messages_sent m;
-      bytes = Inval.bytes_sent m;
-      waits = Inval.wait_summaries m;
-    } )
-
-let mean_wait stats name =
-  match List.assoc_opt name stats.waits with
-  | Some s -> Summary.mean s
-  | None -> 0.
+open Harness
 
 (* ------------------------------------------------------------------ *)
 (* EXP-F2F3: linear solver, barriers (Fig. 2) vs handshaking (Fig. 3)  *)
@@ -1758,6 +1633,194 @@ let exp_lattice () =
      the online chain-clock engine."
 
 (* ------------------------------------------------------------------ *)
+(* EXP-SHARD: partial replication vs full replication                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Symmetric neighbour-exchange workload over [objects] locations in
+   [procs] range shards (shard i = process i's slice of the namespace).
+   Per round each process writes [writes] slots of its own range,
+   crosses a barrier, then reads the same slots from two foreign
+   ranges — its subscribed neighbour i+1 (a local read under placement)
+   and process i+2 (a non-subscribed shard, i.e. a read-miss fetch) —
+   and crosses a second barrier. The full-replication side runs the
+   identical program with broadcast update routing (multicast mode with
+   an all-[None] subscriber map), so both sides use the count-vector
+   barrier scheme and the comparison isolates placement. *)
+
+let exp_shard () =
+  (* (procs, objects, writes per proc per round, rounds) *)
+  let grid =
+    if !quick then [ (4, 400, 2, 2); (8, 800, 2, 2) ]
+    else
+      [
+        (8, 800, 2, 2);
+        (40, 4_000, 2, 2);
+        (200, 20_000, 2, 2);
+        (1_000, 100_000, 2, 1);
+      ]
+  in
+  let json = ref [] in
+  let rows = ref [] in
+  List.iter
+    (fun (procs, objects, writes, rounds) ->
+      let reads = writes in
+      let per = (objects + procs - 1) / procs in
+      let loc_obj id = "s:" ^ string_of_int id in
+      let value_of ~proc ~slot = (slot * procs) + proc + 1 in
+      let slot_id ~proc ~slot = (proc * per) + (slot mod per) in
+      let expected =
+        let sum = ref 0 in
+        for i = 0 to procs - 1 do
+          for r = 0 to rounds - 1 do
+            for k = 0 to reads - 1 do
+              let slot = (r * writes) + k in
+              sum := !sum + value_of ~proc:((i + 1) mod procs) ~slot;
+              sum := !sum + value_of ~proc:((i + 2) mod procs) ~slot
+            done
+          done
+        done;
+        !sum
+      in
+      let workload checksum spawn =
+        for i = 0 to procs - 1 do
+          spawn i (fun (api : Api.t) ->
+              for r = 0 to rounds - 1 do
+                for k = 0 to writes - 1 do
+                  let slot = (r * writes) + k in
+                  api.write
+                    (loc_obj (slot_id ~proc:i ~slot))
+                    (value_of ~proc:i ~slot)
+                done;
+                api.barrier ();
+                for k = 0 to reads - 1 do
+                  let slot = (r * writes) + k in
+                  let near =
+                    api.read ~label:Op.PRAM
+                      (loc_obj (slot_id ~proc:((i + 1) mod procs) ~slot))
+                  in
+                  let far =
+                    api.read ~label:Op.PRAM
+                      (loc_obj (slot_id ~proc:((i + 2) mod procs) ~slot))
+                  in
+                  checksum := !checksum + near + far
+                done;
+                api.barrier ()
+              done)
+        done
+      in
+      let run sharded =
+        let pl =
+          if not sharded then None
+          else begin
+            let pl =
+              Placement.create ~shards:procs
+                ~policy:(Placement.Range { objects })
+                ()
+            in
+            for i = 0 to procs - 1 do
+              Placement.subscribe pl ~node:i ~shard:i;
+              Placement.subscribe pl ~node:i ~shard:((i + 1) mod procs)
+            done;
+            Some pl
+          end
+        in
+        let checksum = ref 0 in
+        let rt_ref = ref None in
+        let (), s =
+          run_mixed ~procs ~timestamped:false
+            ?multicast:(if sharded then None else Some (fun _loc -> None))
+            ?placement:pl
+            (fun rt spawn ->
+              rt_ref := Some rt;
+              workload checksum spawn)
+        in
+        let rt = Option.get !rt_ref in
+        let upd_msgs =
+          List.fold_left
+            (fun acc (kind, n) ->
+              match kind with
+              | "update" | "shard_update" -> acc + n
+              | _ -> acc)
+            0
+            (Network.messages_by_kind (Runtime.network rt))
+        in
+        let res_max = ref 0 and res_sum = ref 0 in
+        for i = 0 to procs - 1 do
+          let r = Runtime.resident_objects rt ~proc:i in
+          res_max := max !res_max r;
+          res_sum := !res_sum + r
+        done;
+        ( s,
+          !checksum = expected,
+          upd_msgs,
+          !res_max,
+          float_of_int !res_sum /. float_of_int procs,
+          Runtime.fetch_count rt )
+      in
+      let updates = procs * writes * rounds in
+      let s_f, ok_f, upd_f, rmax_f, rmean_f, fet_f = run false in
+      let s_s, ok_s, upd_s, rmax_s, rmean_s, fet_s = run true in
+      let row mode (s : stats) ok upd rmax fetches =
+        [
+          string_of_int procs;
+          string_of_int objects;
+          mode;
+          (if ok then "yes" else "NO");
+          T.fmt_float s.time;
+          string_of_int s.messages;
+          T.fmt_ratio (float_of_int upd /. float_of_int updates);
+          string_of_int rmax;
+          string_of_int fetches;
+        ]
+      in
+      rows := row "full replication" s_f ok_f upd_f rmax_f fet_f :: !rows;
+      rows := row "sharded placement" s_s ok_s upd_s rmax_s fet_s :: !rows;
+      rows :=
+        [ ""; ""; "-> reduction"; "";
+          T.fmt_ratio (s_f.time /. s_s.time);
+          T.fmt_ratio (float_of_int s_f.messages /. float_of_int s_s.messages);
+          T.fmt_ratio (float_of_int upd_f /. float_of_int upd_s);
+          T.fmt_ratio (float_of_int rmax_f /. float_of_int rmax_s);
+          "" ]
+        :: !rows;
+      let add mode (s : stats) ok upd rmax rmean fetches =
+        json :=
+          Printf.sprintf
+            "      {\"procs\": %d, \"objects\": %d, \"writes\": %d, \
+             \"rounds\": %d, \"mode\": %S, \"exact\": %b, \"sim_time\": %.3f, \
+             \"messages\": %d, \"update_messages\": %d, \"bytes\": %d, \
+             \"msgs_per_update\": %.3f, \"resident_max\": %d, \
+             \"resident_mean\": %.2f, \"fetches\": %d}"
+            procs objects writes rounds mode ok s.time s.messages upd s.bytes
+            (float_of_int upd /. float_of_int updates)
+            rmax rmean fetches
+          :: !json
+      in
+      add "full" s_f ok_f upd_f rmax_f rmean_f fet_f;
+      add "sharded" s_s ok_s upd_s rmax_s rmean_s fet_s)
+    grid;
+  T.print
+    ~title:
+      "EXP-SHARD: sharded partial replication vs full replication (Sec. 6)"
+    ~headers:
+      [ "procs"; "objects"; "mode"; "exact"; "sim time"; "msgs";
+        "upd msgs/update"; "resident max"; "fetches" ]
+    (List.rev !rows);
+  bench_core_add "EXP-SHARD"
+    ~params:
+      (Printf.sprintf "{\"points\": %d, \"reads_eq_writes\": true, \"seed\": %d}"
+         (List.length grid) bench_seed)
+    (Printf.sprintf "    \"runs\": [\n%s\n    ]"
+       (String.concat ",\n" (List.rev !json)));
+  print_endline
+    "paper (Sec. 6): broadcast-per-update \"may be avoided by making optimizations\n\
+     based on the patterns of accesses to shared variables\"; with range placement\n\
+     each update reaches only its shard's subscriber tree and each replica holds\n\
+     only its subscribed slice, so message volume per update and resident state\n\
+     per replica drop superlinearly as processes x objects grow, while read\n\
+     misses fall back to demand fetches from the shard home."
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1781,6 +1844,7 @@ let experiments =
     ("obs", exp_obs);
     ("static", exp_static);
     ("lattice", exp_lattice);
+    ("shard", exp_shard);
   ]
 
 let () =

@@ -14,6 +14,7 @@ module Runtime = Mc_dsm.Runtime
 module Config = Mc_dsm.Config
 module Api = Mc_dsm.Api
 module Op = Mc_history.Op
+module Placement = Mc_placement.Placement
 module Solver = Mc_apps.Linear_solver
 module Em = Mc_apps.Em_field
 module Sparse = Mc_apps.Sparse_spd
@@ -71,14 +72,16 @@ let online_model ~check_online model =
    recorded history through the same engine afterwards. With [model]
    (and [check_online]) the online checker validates every memory read
    under that single lattice point instead of its declared label. *)
-let run_on ~memory ~procs ~propagation ~record ~check_online ?model f =
+let run_on ~memory ~procs ~propagation ~record ~check_online ?model ?placement f =
   let model = online_model ~check_online model in
+  if placement <> None && memory <> Mixed then
+    invalid_arg "sharded placement requires the mixed memory system";
   match memory with
   | Mixed ->
     let engine = Engine.create () in
     let cfg =
       { (Config.default ~procs) with
-        propagation; record; check_online; check_model = model }
+        propagation; record; check_online; check_model = model; placement }
     in
     let rt = Runtime.create engine cfg in
     let out = f (Api.spawn rt) in
@@ -180,9 +183,9 @@ let check_json ?model ~extra ~history ~checker () =
   (match checker with
   | Some c ->
     let s = Online.stats c in
-    add "\"online\":{\"ops_checked\":%d,\"mixed_consistent\":%b,\"reads\":{\"pram\":%d,\"causal\":%d,\"group\":%d},\"failures\":[%s],\"chains\":%d,\"max_resident\":%d,\"live_summaries\":%d}"
+    add "\"online\":{\"ops_checked\":%d,\"mixed_consistent\":%b,\"reads\":{\"pram\":%d,\"causal\":%d,\"group\":%d},\"fetched_reads\":%d,\"failures\":[%s],\"chains\":%d,\"max_resident\":%d,\"live_summaries\":%d}"
       s.Online.ops_checked (Online.is_consistent c) s.Online.pram_reads
-      s.Online.causal_reads s.Online.group_reads
+      s.Online.causal_reads s.Online.group_reads s.Online.fetched_reads
       (String.concat "," (List.map failure_json (Online.failures c)))
       s.Online.chains s.Online.max_resident s.Online.live_summaries
   | None -> ());
@@ -344,6 +347,30 @@ let check_strict_arg =
            when the recorded history is not well-formed. (Consistency \
            failures always exit with status 1.)")
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Run on the sharded, partially-replicated DSM with $(docv) \
+           shards: each process subscribes only the shards it writes, \
+           other reads are served by demand fetches from the shard home. \
+           Requires the mixed memory and the solver's barrier variant; 0 \
+           (the default) keeps full replication.")
+
+let placement_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Placement.policy_of_string s) in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Placement.policy_to_string p))
+
+let placement_arg =
+  Arg.(
+    value
+    & opt placement_conv (Placement.Range { objects = 0 })
+    & info [ "placement" ] ~docv:"POLICY"
+        ~doc:
+          "With --shards: the location-to-shard policy, range (contiguous \
+           object-id slices, the default) or hash.")
+
 (* ---------------- solver ---------------- *)
 
 let solver_cmd =
@@ -356,14 +383,34 @@ let solver_cmd =
     in
     Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Solver.variant_to_string v))
   in
-  let run n workers variant memory propagation record check_online model json strict trace seed =
+  let run n workers variant memory propagation record check_online model json strict trace seed shards policy =
     let procs = workers + 1 in
     let record = record || model <> None in
+    let placement =
+      if shards <= 0 then None
+      else begin
+        if variant <> Solver.Barrier_pram then begin
+          prerr_endline
+            "mcdsm solver: --shards requires --variant barrier (write \
+             ownership is per-row; the handshake variants write shared \
+             handshake locations from every process)";
+          exit 2
+        end;
+        let policy =
+          match policy with
+          | Placement.Range _ -> Placement.Range { objects = n }
+          | Placement.Hash -> Placement.Hash
+        in
+        let pl = Placement.create ~shards ~policy () in
+        Solver.subscribe_shards pl ~procs ~n;
+        Some pl
+      end
+    in
     let problem = Solver.Problem.generate ~seed ~n in
     let expected = Solver.reference ~variant problem in
     let res, time, msgs, history, checker =
-      run_on ~memory ~procs ~propagation ~record ~check_online ?model (fun spawn ->
-          Solver.launch ~spawn ~procs ~variant problem)
+      run_on ~memory ~procs ~propagation ~record ~check_online ?model ?placement
+        (fun spawn -> Solver.launch ~spawn ~procs ~variant problem)
     in
     let r = Option.get !res in
     info ~json "%s: n=%d workers=%d iters=%d converged=%b\n"
@@ -381,6 +428,14 @@ let solver_cmd =
         ("messages", string_of_int msgs);
         ("exact", string_of_bool exact);
       ]
+      @
+      match placement with
+      | None -> []
+      | Some pl ->
+        [
+          ("shards", string_of_int shards);
+          ("placement", Printf.sprintf "%S" (Placement.policy_to_string (Placement.policy pl)));
+        ]
     in
     exit_if_inconsistent
       (check_report ~json ~strict ~trace ?model ~extra ~history ~checker ())
@@ -399,7 +454,8 @@ let solver_cmd =
     (Cmd.info "solver" ~doc:"Iterative linear-equation solver (Sec. 5.1, Figs. 2-3)")
     Term.(
       const run $ n_arg $ workers_arg $ variant_arg $ memory_arg $ propagation_arg
-      $ record_arg $ check_online_arg $ model_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg)
+      $ record_arg $ check_online_arg $ model_arg $ check_json_arg $ check_strict_arg $ trace_arg $ seed_arg
+      $ shards_arg $ placement_arg)
 
 (* ---------------- em ---------------- *)
 
@@ -671,26 +727,80 @@ let lint_cmd =
    [info ~json] discipline: with --json, stdout carries exactly one
    JSON array. *)
 let check_cmd =
-  let run app model online json strict memory propagation seed =
+  let run app model online json strict memory propagation seed shards policy =
     let model = Option.value model ~default:Lattice.Mixed in
     let streamable = Online.supports model in
+    (* Sharded runs must stream the checker during execution: only the
+       runtime knows which reads were demand fetches and what snapshot
+       each fetch saw, so an after-the-fact [Online.check] replay (no
+       fetch notes) would hold them to the full-replication rule. The
+       offline verdict set is accordingly restricted to non-fetched
+       reads — on those, sharded delivery must agree with the offline
+       checker verdict-for-verdict. *)
+    let sharded_solver () =
+      if app <> `Solver then begin
+        prerr_endline "mcdsm check: --shards supports --app solver only";
+        exit 2
+      end;
+      if memory <> Mixed then begin
+        prerr_endline "mcdsm check: --shards requires --memory mixed";
+        exit 2
+      end;
+      let n = 8 and procs = 3 in
+      let policy =
+        match policy with
+        | Placement.Range _ -> Placement.Range { objects = n }
+        | Placement.Hash -> Placement.Hash
+      in
+      let pl = Placement.create ~shards ~policy () in
+      Solver.subscribe_shards pl ~procs ~n;
+      let problem = Solver.Problem.generate ~seed ~n in
+      let _, _, _, h, checker =
+        run_on ~memory ~procs ~propagation ~record:true
+          ~check_online:streamable ~model ~placement:pl (fun spawn ->
+            Solver.launch ~spawn ~procs ~variant:Solver.Barrier_pram problem)
+      in
+      let h = Option.get h in
+      let fetched =
+        match checker with Some c -> Online.fetched_ids c | None -> []
+      in
+      let failures =
+        List.filter
+          (fun (f : Lattice.failure) ->
+            not (List.mem f.Lattice.read_id fetched))
+          (Lattice.failures h model)
+      in
+      let online_agrees =
+        match checker with
+        | Some c when online ->
+          Some
+            (List.map
+               (fun (f : Mixed_chk.failure) -> f.Mixed_chk.read_id)
+               (Online.failures c)
+            = List.map (fun (f : Lattice.failure) -> f.Lattice.read_id) failures)
+        | _ -> None
+      in
+      [ ("solver", h, failures, Mc_history.History.is_well_formed h, online_agrees) ]
+    in
     let results =
-      List.map
-        (fun (name, h) ->
-          let failures = Lattice.failures h model in
-          let well_formed = Mc_history.History.is_well_formed h in
-          let online_agrees =
-            if online && streamable then
-              let c = Online.check ~model h in
-              Some
-                (List.map (fun (f : Mixed_chk.failure) -> f.Mixed_chk.read_id)
-                   (Online.failures c)
-                = List.map (fun (f : Lattice.failure) -> f.Lattice.read_id)
-                    failures)
-            else None
-          in
-          (name, h, failures, well_formed, online_agrees))
-        (app_histories app memory propagation seed)
+      if shards > 0 then sharded_solver ()
+      else
+        List.map
+          (fun (name, h) ->
+            let failures = Lattice.failures h model in
+            let well_formed = Mc_history.History.is_well_formed h in
+            let online_agrees =
+              if online && streamable then
+                let c = Online.check ~model h in
+                Some
+                  (List.map (fun (f : Mixed_chk.failure) -> f.Mixed_chk.read_id)
+                     (Online.failures c)
+                  = List.map (fun (f : Lattice.failure) -> f.Lattice.read_id)
+                      failures)
+              else None
+            in
+            (name, h, failures, well_formed, online_agrees))
+          (app_histories app memory propagation seed)
     in
     if json then begin
       print_string "[";
@@ -698,9 +808,10 @@ let check_cmd =
         (fun i (name, h, failures, well_formed, online_agrees) ->
           if i > 0 then print_string ",";
           Printf.printf
-            "{\"name\":%S,\"model\":%S,\"ops\":%d,\"well_formed\":%b,\"consistent\":%b,\"streamable\":%b%s,\"failures\":[%s]}"
+            "{\"name\":%S,\"model\":%S,\"shards\":%d,\"ops\":%d,\"well_formed\":%b,\"consistent\":%b,\"streamable\":%b%s,\"failures\":[%s]}"
             name
             (Lattice.to_string model)
+            shards
             (Mc_history.History.length h)
             well_formed (failures = []) streamable
             (match online_agrees with
@@ -762,7 +873,7 @@ let check_cmd =
           consistency-lattice point")
     Term.(
       const run $ lint_app_arg $ model_arg $ online_arg $ json_arg $ strict_arg
-      $ memory_arg $ propagation_arg $ seed_arg)
+      $ memory_arg $ propagation_arg $ seed_arg $ shards_arg $ placement_arg)
 
 (* ---------------- metrics / trace ---------------- *)
 

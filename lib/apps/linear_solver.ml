@@ -276,3 +276,23 @@ let reference ~variant ?(max_iters = 200) ?(tol = default_tol) (p : Problem.t) =
 
 let solver_groups ~procs =
   [ 0 ] :: List.init (procs - 1) (fun w -> [ 0; w + 1 ])
+
+(* Sharded placement (Barrier_pram variant): every process subscribes
+   exactly the shards it writes — worker w its own rows, the coordinator
+   the [done] flag. Everything else (foreign rows at the workers, the
+   whole estimate at the coordinator, [done] at the workers) is reached
+   by read-miss fetches, which the two barriers per iteration make
+   fresh: the fetch home is a barrier member, so it has applied every
+   pre-barrier write of its shards. *)
+let subscribe_shards pl ~procs ~n =
+  let module P = Mc_placement.Placement in
+  if procs < 2 then
+    invalid_arg "Linear_solver.subscribe_shards: need at least two processes";
+  let workers = procs - 1 in
+  P.subscribe pl ~node:0 ~shard:(P.shard_of_loc pl loc_done);
+  for w = 0 to workers - 1 do
+    let lo, hi = rows_of_worker ~n ~workers w in
+    for r = lo to hi do
+      P.subscribe pl ~node:(w + 1) ~shard:(P.shard_of_loc pl (loc_x r))
+    done
+  done

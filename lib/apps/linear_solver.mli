@@ -77,3 +77,13 @@ val residual : Problem.t -> int array -> int
 (** [solver_groups ~procs] is the group list a runtime must be configured
     with to run the {!Handshake_group} variant. *)
 val solver_groups : procs:int -> int list list
+
+(** [subscribe_shards pl ~procs ~n] registers the {!Barrier_pram}
+    variant's write-ownership subscriptions in placement [pl]: worker
+    [w] subscribes the shards of its own rows, the coordinator the shard
+    of the [done] flag. All other accesses (foreign rows, the estimate
+    at the coordinator, [done] at the workers) become read-miss fetches;
+    the two barriers per iteration keep them fresh, since every fetch
+    home is a barrier member with all pre-barrier writes of its shards
+    applied. *)
+val subscribe_shards : Mc_placement.Placement.t -> procs:int -> n:int -> unit

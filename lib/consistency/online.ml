@@ -84,12 +84,28 @@ type sess_state = {
   se_writes : (Op.location, sess_rec list ref) Hashtbl.t;
 }
 
+(* A read served by demand-driven fetch instead of the local replica
+   (sharded mode): the replica holds no view of the location, so the
+   chain-clock read rule — which reasons about what this process has
+   locally applied — does not describe it. The runtime announces, just
+   before recording such a read, the admissible value set derived from
+   the fetch snapshot: for every writer counted in the home's per-shard
+   clock, that writer's latest write to the location within the
+   snapshot. The fetched value is exactly the home's causal-view value
+   at the snapshot, so validity is membership in that set. *)
+type fetch_note = {
+  fn_loc : Op.location;
+  fn_admissible : Op.value list;
+  fn_zero_ok : bool; (* no write to the location inside the snapshot *)
+}
+
 type stats = {
   ops_checked : int;
   reads_checked : int;
   pram_reads : int;
   causal_reads : int;
   group_reads : int;
+  fetched_reads : int;
   failure_count : int;
   chains : int;
   max_resident : int;
@@ -114,6 +130,9 @@ type t = {
   mutable pram_reads : int;
   mutable causal_reads : int;
   mutable group_reads : int;
+  fetch_notes : (int, fetch_note Queue.t) Hashtbl.t; (* per proc, FIFO *)
+  mutable fetched : int list; (* read ids validated via snapshot, reverse *)
+  mutable n_fetched : int;
   mutable ch : int; (* chain count high-water *)
   mutable t_engine : Stream.t option;
 }
@@ -247,6 +266,9 @@ let make ~procs ?(groups = []) ?model () =
     pram_reads = 0;
     causal_reads = 0;
     group_reads = 0;
+    fetch_notes = Hashtbl.create 8;
+    fetched = [];
+    n_fetched = 0;
     ch = 0;
     t_engine = None;
   }
@@ -346,6 +368,38 @@ let verdict t (op : Op.t) strict ~loc ~value ~fam =
         match interposed w with
         | Some fo -> Read_rule.Overwritten fo.f_id
         | None -> assert false))
+
+(* --- the read rule on a fetch snapshot (partial view) ---------------- *)
+
+(* Validity of a fetched read is membership of its value in the
+   admissible set the runtime derived from the snapshot clock. For
+   failure diagnostics the interposing write is named by the smallest
+   live summary id of any admissible value (the admissible writes are
+   exactly those the home had applied over the returned value); when no
+   such summary has finalized yet the interposer is reported as [-1] —
+   fetched diagnostics are best-effort, and the differential suite
+   compares diagnostics on non-fetched reads only. *)
+let fetched_verdict t ~loc ~value fn =
+  let admissible_interposer () =
+    let ids =
+      List.concat_map
+        (fun v ->
+          if v = value then []
+          else
+            match Hashtbl.find_opt t.sums (loc, v) with
+            | Some l -> List.map (fun s -> s.s_id) !l
+            | None -> [])
+        fn.fn_admissible
+    in
+    match ids with
+    | [] -> Read_rule.Overwritten (-1)
+    | ids -> Read_rule.Overwritten (List.fold_left min max_int ids)
+  in
+  if value = 0 then
+    if fn.fn_zero_ok then Read_rule.Valid else admissible_interposer ()
+  else if List.mem value fn.fn_admissible then Read_rule.Valid
+  else if Hashtbl.mem t.sums (loc, value) then admissible_interposer ()
+  else Read_rule.No_matching_write
 
 (* --- the read rule at a session point -------------------------------- *)
 
@@ -496,10 +550,25 @@ let finalize t (info : Stream.info) =
     | Op.PRAM -> t.pram_reads <- t.pram_reads + 1
     | Op.Causal -> t.causal_reads <- t.causal_reads + 1
     | Op.Group _ -> t.group_reads <- t.group_reads + 1);
+    (* a queued fetch note matches this read iff it heads the process's
+       note queue with the same location: notes are enqueued immediately
+       before the read is recorded (atomically — no suspension between),
+       and per-process finalization order is program order, so the k-th
+       noted read of a process finalizes k-th among its noted reads *)
+    let fetch =
+      match Hashtbl.find_opt t.fetch_notes op.proc with
+      | Some q when (not (Queue.is_empty q)) && (Queue.peek q).fn_loc = loc ->
+        Some (Queue.pop q)
+      | _ -> None
+    in
     let v =
-      match t.t_mode with
-      | Uniform (Lattice.Session _) -> session_verdict t op ~loc ~value
-      | _ ->
+      match (fetch, t.t_mode) with
+      | Some fn, _ ->
+        t.fetched <- op.id :: t.fetched;
+        t.n_fetched <- t.n_fetched + 1;
+        fetched_verdict t ~loc ~value fn
+      | None, Uniform (Lattice.Session _) -> session_verdict t op ~loc ~value
+      | None, _ ->
         let fam =
           match t.t_mode with
           | Per_label | Uniform Lattice.Mixed ->
@@ -628,6 +697,19 @@ let sink t = Stream.sink (engine t)
 let failures t = List.sort (fun a b -> compare a.Mixed.read_id b.Mixed.read_id) t.failures
 let is_consistent t = t.failures = []
 
+let note_fetch t ~proc ~loc ~admissible ~zero_ok =
+  if proc < 0 || proc >= t.t_procs then
+    invalid_arg "Online.note_fetch: process out of range";
+  let note = { fn_loc = loc; fn_admissible = admissible; fn_zero_ok = zero_ok } in
+  match Hashtbl.find_opt t.fetch_notes proc with
+  | Some q -> Queue.push note q
+  | None ->
+    let q = Queue.create () in
+    Queue.push note q;
+    Hashtbl.add t.fetch_notes proc q
+
+let fetched_ids t = List.sort compare t.fetched
+
 let stats t =
   let live =
     Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.sums 0
@@ -639,6 +721,7 @@ let stats t =
     pram_reads = t.pram_reads;
     causal_reads = t.causal_reads;
     group_reads = t.group_reads;
+    fetched_reads = t.n_fetched;
     failure_count = List.length t.failures;
     chains = t.ch;
     max_resident = (match e with Some e -> Stream.max_resident e | None -> 0);

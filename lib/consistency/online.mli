@@ -26,6 +26,7 @@ type stats = {
   pram_reads : int;
   causal_reads : int;
   group_reads : int;
+  fetched_reads : int;  (** reads validated against a fetch snapshot *)
   failure_count : int;
   chains : int;  (** concurrency chains allocated by the engine *)
   max_resident : int;  (** high-water of the engine's in-flight window *)
@@ -73,6 +74,42 @@ val failures : t -> Mixed.failure list
 
 val is_consistent : t -> bool
 val stats : t -> stats
+
+(** {1 Partial-view checking (sharded mode)}
+
+    On a partially-replicated node the chain-clock read rule does not
+    describe reads of {e unsubscribed} locations: the replica holds no
+    view of them and the value comes from a demand fetch against the
+    shard home's snapshot. The runtime announces each such read with
+    {!note_fetch} immediately before recording it; the checker then
+    validates that read by snapshot membership instead of the family
+    read rule. Reads of subscribed locations take the unchanged code
+    path, so verdicts and diagnostics on them are identical to the
+    full-replication checker by construction (the differential suite in
+    [test/test_shard.ml] exercises this). *)
+
+(** [note_fetch t ~proc ~loc ~admissible ~zero_ok] registers that the
+    next recorded read of [loc] by [proc] was served by a fetch whose
+    snapshot admits exactly the values [admissible] (per writer counted
+    in the snapshot clock, that writer's latest write to [loc] within
+    it); [zero_ok] states that no write to [loc] lies inside the
+    snapshot, so the virtual initial value 0 is the valid answer. Must
+    be called with no intervening operation of [proc] before the read
+    is recorded. *)
+val note_fetch :
+  t ->
+  proc:int ->
+  loc:Mc_history.Op.location ->
+  admissible:Mc_history.Op.value list ->
+  zero_ok:bool ->
+  unit
+
+(** [fetched_ids t] is the ascending list of read ids that were
+    validated against fetch snapshots — the reads to exclude when
+    comparing against an offline full-replication checker, whose
+    global-view read rule can legitimately disagree on them (e.g. a
+    home lagging a writer after a barrier that did not cover it). *)
+val fetched_ids : t -> int list
 
 (** [attach_metrics t reg] registers callback gauges ([mc_online_*]) over
     {!stats} — sampled only at snapshot time, so attaching costs nothing

@@ -16,6 +16,7 @@ type t = {
   timestamped_updates : bool;
   groups : int list list;
   multicast : (Mc_history.Op.location -> int list option) option;
+  placement : Mc_placement.Placement.t option;
   delivery : delivery;
   batch_max : int;
   batch_window : float;
@@ -39,6 +40,7 @@ let default ~procs =
     timestamped_updates = true;
     groups = [];
     multicast = None;
+    placement = None;
     delivery = Fast;
     batch_max = 1;
     batch_window = 1.0;

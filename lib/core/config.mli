@@ -84,6 +84,20 @@ type t = {
           update-count scheme — each arrival reports how many updates it
           sent to each peer, and the release tells each process how many
           to wait for. *)
+  placement : Mc_placement.Placement.t option;
+      (** sharded, partially-replicated routing (mutually exclusive with
+          [multicast], which it generalizes). Locations are mapped to
+          shards and shards to subscriber sets ({!Mc_placement}); a write
+          travels a per-(writer, shard) dissemination tree to subscribers
+          only, replicas keep state and delivery queues only for
+          subscribed shards, and reads of unsubscribed locations fall
+          back to demand-driven fetch from the shard's home. Within a
+          subscribed shard both [PRAM] and [Causal] reads are available
+          (the causal view is per-shard, ordered by shard-scoped delta
+          clocks); cross-shard ordering comes only from barriers, which
+          use the Section-6 update-count scheme as under [multicast].
+          Locks and [Group] reads are not available in this mode. Writes
+          are restricted to subscribed shards. *)
   delivery : delivery;  (** causal-delivery engine, see {!delivery} *)
   batch_max : int;
       (** maximum number of consecutive same-writer updates coalesced

@@ -77,9 +77,37 @@ let decode_batch { first; rest } =
   in
   first :: decoded
 
+(* Sharded (partially-replicated) routing: updates are scoped to one
+   shard and carry per-shard ordering metadata instead of the global
+   vector clock. [su_sseq] numbers the (writer, shard) stream; [su_sdep]
+   is the shard-scoped delta clock — the per-writer applied counts of
+   that shard at the writer when it issued the update, sparse, with the
+   writer's own entry omitted (it is [su_sseq - 1] by construction). *)
+type shard_update = {
+  su_shard : int;
+  su_writer : int;
+  su_sseq : int;
+  su_sdep : (int * int) list;
+  su_loc : Mc_history.Op.location;
+  su_numeric : Mc_history.Op.value;
+  su_tag : int;
+  su_is_dec : bool;
+}
+
 type msg =
   | Update of update
   | Update_batch of batch
+  | Shard_update of shard_update
+  | Fetch_request of { proc : int; loc : Mc_history.Op.location }
+  | Fetch_reply of {
+      loc : Mc_history.Op.location;
+      numeric : Mc_history.Op.value;
+      tag : int;
+      clock : (int * int) list;
+          (** the home's per-writer applied counts for the location's
+              shard — the snapshot the fetched read is validated
+              against *)
+    }
   | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
   | Lock_grant of {
       lock : Mc_history.Op.lock_name;
@@ -124,6 +152,10 @@ let kind = function
   | Update { is_dec = false; _ } -> "update"
   | Update { is_dec = true; _ } -> "dec_update"
   | Update_batch _ -> "update_batch"
+  | Shard_update { su_is_dec = false; _ } -> "shard_update"
+  | Shard_update { su_is_dec = true; _ } -> "shard_dec_update"
+  | Fetch_request _ -> "fetch_request"
+  | Fetch_reply _ -> "fetch_reply"
   | Lock_request _ -> "lock_request"
   | Lock_grant _ -> "lock_grant"
   | Unlock_msg _ -> "unlock"

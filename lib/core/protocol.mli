@@ -60,9 +60,44 @@ val batch_length : batch -> int
     batches. *)
 val batch_delta_entries : batch -> int
 
+(** A propagated write scoped to one shard of a partially-replicated
+    placement (see {!Mc_placement}). Instead of the global vector clock
+    it carries per-shard ordering metadata: [su_sseq] numbers the
+    (writer, shard) stream starting at 1, and [su_sdep] is the
+    shard-scoped delta clock — the sparse per-writer applied counts of
+    that shard at the writer when the update was issued, with the
+    writer's own entry omitted (it equals [su_sseq - 1]). Subscribers
+    deliver the update to their per-shard causal view once [su_sdep] is
+    satisfied; the PRAM view applies it on receipt (tree paths are
+    fixed per stream, so per-stream FIFO order is preserved). *)
+type shard_update = {
+  su_shard : int;
+  su_writer : int;
+  su_sseq : int;
+  su_sdep : (int * int) list;
+  su_loc : Mc_history.Op.location;
+  su_numeric : Mc_history.Op.value;
+  su_tag : int;
+  su_is_dec : bool;
+}
+
 type msg =
   | Update of update
   | Update_batch of batch
+  | Shard_update of shard_update
+  | Fetch_request of { proc : int; loc : Mc_history.Op.location }
+      (** demand-driven propagation for non-subscribers: ask the
+          location's shard {e home} (least subscriber) for its current
+          per-shard causal value *)
+  | Fetch_reply of {
+      loc : Mc_history.Op.location;
+      numeric : Mc_history.Op.value;
+      tag : int;
+      clock : (int * int) list;
+          (** the home's per-writer applied counts for the location's
+              shard — the snapshot the fetched read is validated
+              against by the partial-view online checker *)
+    }
   | Lock_request of { proc : int; lock : Mc_history.Op.lock_name; write : bool }
   | Lock_grant of {
       lock : Mc_history.Op.lock_name;

@@ -47,6 +47,20 @@ type group_view = {
   g_wait_received : int list array;
 }
 
+(* Sharded (partially-replicated) mode: per-subscribed-shard delivery
+   state. Within a shard, updates are delivered causally against the
+   shard-scoped clock ([Protocol.shard_update.su_sdep]); per-writer
+   counts are kept sparse because a node only ever sees the writers
+   active in the shards it subscribes to. The pending list is the
+   reference-style rescan engine — per-shard traffic is a small slice of
+   the system, and tree paths are fixed per (writer, shard) stream, so
+   arrivals are near-causal and the list stays short. *)
+type shard_state = {
+  sh_applied : (int, int) Hashtbl.t; (* writer -> applied sseq count *)
+  sh_view : (Mc_history.Op.location, cell) Hashtbl.t;
+  mutable sh_pending : Protocol.shard_update list;
+}
+
 type t = {
   engine : Engine.t;
   node_id : int;
@@ -89,8 +103,11 @@ type t = {
   mutable dirty_clock : bool;
   group_views : (int list * group_view) list;
   causal_delivery : bool;
-      (* false under multicast routing: updates may arrive with gaps in
-         the writer sequence, so only the PRAM view is maintained *)
+      (* false under multicast and sharded routing: updates may arrive
+         with gaps in the writer sequence, so the global causal view is
+         not maintained (sharded mode keeps per-shard causal views in
+         [shards] instead) *)
+  shards : (int, shard_state) Hashtbl.t; (* subscribed shards only *)
   mutable obs : obs option;
 }
 
@@ -141,6 +158,7 @@ let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
     dirty_clock = false;
     group_views = List.map make_group groups;
     causal_delivery;
+    shards = Hashtbl.create 8;
     obs = None;
   }
 
@@ -166,7 +184,13 @@ let attach_metrics t reg =
 let id t = t.node_id
 let applied t = Array.copy t.applied_counts
 let received t = Array.copy t.received_counts
-let pending_count t = if t.fast then t.n_pending else List.length t.pending
+
+let shard_pending_total t =
+  Hashtbl.fold (fun _ st acc -> acc + List.length st.sh_pending) t.shards 0
+
+let pending_count t =
+  (if t.fast then t.n_pending else List.length t.pending)
+  + shard_pending_total t
 
 let view_cell view loc =
   match Hashtbl.find_opt view loc with
@@ -718,3 +742,156 @@ let wait_until t ?(hint = Any) pred =
         let w = { wseq = t.next_wseq; hint; pred; resume } in
         t.next_wseq <- t.next_wseq + 1;
         put_back t w)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded (partially-replicated) mode                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find_shard t shard =
+  match Hashtbl.find_opt t.shards shard with
+  | Some st -> st
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Replica.%d: not subscribed to shard %d" t.node_id shard)
+
+let shard_subscribed t ~shard = Hashtbl.mem t.shards shard
+
+let subscribe_shard t ?(clock = []) ?(values = []) ~shard () =
+  let st =
+    {
+      sh_applied = Hashtbl.create 8;
+      sh_view = Hashtbl.create 32;
+      sh_pending = [];
+    }
+  in
+  List.iter (fun (w, c) -> Hashtbl.replace st.sh_applied w c) clock;
+  (* state transfer: the snapshot values enter both the shard view and
+     the PRAM view (they are this node's local copy now) *)
+  List.iter
+    (fun (loc, numeric, tag) ->
+      let set view =
+        let c = view_cell view loc in
+        c.numeric <- numeric;
+        c.tag <- tag
+      in
+      set st.sh_view;
+      set t.pram_view;
+      mark_dirty_loc t loc)
+    values;
+  Hashtbl.replace t.shards shard st;
+  fire_dirty t
+
+let unsubscribe_shard t ~shard = Hashtbl.remove t.shards shard
+
+let sh_get st w =
+  match Hashtbl.find_opt st.sh_applied w with Some c -> c | None -> 0
+
+let shard_deliverable st (su : Protocol.shard_update) =
+  sh_get st su.su_writer = su.su_sseq - 1
+  && List.for_all (fun (j, d) -> sh_get st j >= d) su.su_sdep
+
+let apply_shard_payload view ~loc ~numeric ~tag ~is_dec =
+  let c = view_cell view loc in
+  if is_dec then c.numeric <- c.numeric - numeric
+  else begin
+    c.numeric <- numeric;
+    c.tag <- tag
+  end
+
+let shard_apply t st (su : Protocol.shard_update) =
+  apply_shard_payload st.sh_view ~loc:su.su_loc ~numeric:su.su_numeric
+    ~tag:su.su_tag ~is_dec:su.su_is_dec;
+  Hashtbl.replace st.sh_applied su.su_writer su.su_sseq;
+  mark_dirty_loc t su.su_loc
+
+let drain_shard t st =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let rec scan acc = function
+      | [] -> List.rev acc
+      | su :: rest ->
+        if shard_deliverable st su then begin
+          shard_apply t st su;
+          progress := true;
+          scan acc rest
+        end
+        else scan (su :: acc) rest
+    in
+    st.sh_pending <- scan [] st.sh_pending
+  done
+
+let shard_make t ~shard ~loc ~numeric ~tag ~is_dec =
+  let st = find_shard t shard in
+  let sseq = sh_get st t.node_id + 1 in
+  let sdep =
+    Hashtbl.fold
+      (fun j c acc -> if j <> t.node_id && c > 0 then (j, c) :: acc else acc)
+      st.sh_applied []
+    |> List.sort compare
+  in
+  let su : Protocol.shard_update =
+    {
+      su_shard = shard;
+      su_writer = t.node_id;
+      su_sseq = sseq;
+      su_sdep = sdep;
+      su_loc = loc;
+      su_numeric = numeric;
+      su_tag = tag;
+      su_is_dec = is_dec;
+    }
+  in
+  apply_shard_payload t.pram_view ~loc ~numeric ~tag ~is_dec;
+  shard_apply t st su;
+  t.received_counts.(t.node_id) <- t.received_counts.(t.node_id) + 1;
+  t.dirty_clock <- true;
+  fire_dirty t;
+  su
+
+let shard_write t ~shard ~loc ~numeric ~tag =
+  shard_make t ~shard ~loc ~numeric ~tag ~is_dec:false
+
+let shard_dec t ~shard ~loc ~amount =
+  let st = find_shard t shard in
+  let observed, _ = read_view st.sh_view loc in
+  let su = shard_make t ~shard ~loc ~numeric:amount ~tag:0 ~is_dec:true in
+  (su, observed)
+
+let shard_receive t (su : Protocol.shard_update) =
+  if su.su_writer = t.node_id then
+    invalid_arg "Replica.shard_receive: update from self";
+  match Hashtbl.find_opt t.shards su.su_shard with
+  | None -> () (* gap-tolerant: not subscribed, ignore *)
+  | Some st when su.su_sseq <= sh_get st su.su_writer ->
+    (* already covered by the snapshot installed at subscription time
+       (or a duplicate): its payload is reflected in the snapshot
+       values, so applying it again would go back in time *)
+    ()
+  | Some st ->
+    t.received_counts.(su.su_writer) <- t.received_counts.(su.su_writer) + 1;
+    t.dirty_clock <- true;
+    apply_shard_payload t.pram_view ~loc:su.su_loc ~numeric:su.su_numeric
+      ~tag:su.su_tag ~is_dec:su.su_is_dec;
+    mark_dirty_loc t su.su_loc;
+    st.sh_pending <- st.sh_pending @ [ su ];
+    drain_shard t st;
+    (match t.obs with
+    | Some o ->
+      Mc_obs.Metrics.Gauge.set o.g_depth (float_of_int (pending_count t))
+    | None -> ());
+    fire_dirty t
+
+let shard_read t ~shard loc = read_view (find_shard t shard).sh_view loc
+
+let shard_clock t ~shard =
+  Hashtbl.fold (fun w c acc -> (w, c) :: acc) (find_shard t shard).sh_applied []
+  |> List.sort compare
+
+let resident_objects t = Hashtbl.length t.pram_view
+
+let shard_queue_depths t =
+  Hashtbl.fold
+    (fun shard st acc -> (shard, List.length st.sh_pending) :: acc)
+    t.shards []
+  |> List.sort compare

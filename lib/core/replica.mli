@@ -144,3 +144,84 @@ val notify : t -> unit
     simulated µs), [mc_delivery_queue_depth] (gauge, labelled by [node]),
     and [mc_update_batch_size] (updates per received batch). *)
 val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit
+
+(** {1 Sharded (partially-replicated) mode}
+
+    The substrate is the gap-tolerant [causal_delivery:false] mode above:
+    the global causal view is off, and the PRAM view absorbs whatever
+    subset of the update stream this node receives. On top of it the
+    replica keeps, {e per subscribed shard}, a causal view ordered by the
+    shard-scoped delta clocks of {!Protocol.shard_update} — partition
+    consistency: per-writer FIFO plus causality hold within each shard,
+    and cross-shard ordering is recovered by barrier count vectors.
+
+    Writes are only permitted to subscribed shards ([Invalid_argument]
+    otherwise — a placement discipline analogous to entry consistency's
+    lock discipline), which guarantees read-your-writes from the local
+    PRAM view and means every location a node ever fetches is one it
+    never wrote. *)
+
+(** [subscribe_shard t ~shard ()] starts maintaining per-shard state.
+    [clock] and [values] install a state-transfer snapshot: the per-writer
+    applied counts and the [(loc, numeric, tag)] contents of the shard
+    view at the donor. Re-subscribing replaces any previous state. *)
+val subscribe_shard :
+  t ->
+  ?clock:(int * int) list ->
+  ?values:(Mc_history.Op.location * int * int) list ->
+  shard:int ->
+  unit ->
+  unit
+
+(** [unsubscribe_shard t ~shard] drops the shard's view, applied counts
+    and pending queue; subsequent updates of the shard are ignored. *)
+val unsubscribe_shard : t -> shard:int -> unit
+
+val shard_subscribed : t -> shard:int -> bool
+
+(** [shard_write t ~shard ~loc ~numeric ~tag] applies a write to the PRAM
+    view and the shard's causal view, and returns the stamped update to
+    route down the shard's dissemination tree. Raises [Invalid_argument]
+    if [shard] is not subscribed. *)
+val shard_write :
+  t ->
+  shard:int ->
+  loc:Mc_history.Op.location ->
+  numeric:int ->
+  tag:int ->
+  Protocol.shard_update
+
+(** [shard_dec t ~shard ~loc ~amount] is the decrement counterpart;
+    also returns the pre-decrement value of the shard view. *)
+val shard_dec :
+  t ->
+  shard:int ->
+  loc:Mc_history.Op.location ->
+  amount:int ->
+  Protocol.shard_update * int
+
+(** [shard_receive t su] ingests a shard update from the network: applied
+    to the PRAM view immediately, and to the shard's causal view once its
+    shard-scoped delta clock is satisfied. Updates of unsubscribed shards
+    are dropped silently — the gap tolerance that makes partial
+    replication sound — as are updates already covered by the snapshot
+    clock installed at subscription time (their payloads are reflected in
+    the snapshot values). *)
+val shard_receive : t -> Protocol.shard_update -> unit
+
+(** [shard_read t ~shard loc] is [(numeric, tag)] from the shard's causal
+    view. Raises [Invalid_argument] if [shard] is not subscribed. *)
+val shard_read : t -> shard:int -> Mc_history.Op.location -> int * int
+
+(** [shard_clock t ~shard] is the sorted [(writer, applied)] list of the
+    shard's causal view — the snapshot clock sent with fetch replies. *)
+val shard_clock : t -> shard:int -> (int * int) list
+
+(** [resident_objects t] is the number of distinct locations materialized
+    at this node — the resident-state measure of EXP-SHARD. *)
+val resident_objects : t -> int
+
+(** [shard_queue_depths t] is the sorted [(shard, pending)] list of
+    per-shard delivery queue depths. *)
+val shard_queue_depths : t -> (int * int) list
+

@@ -34,6 +34,11 @@ type node = {
   mutable outbox : Protocol.update list;
   mutable outbox_len : int;
   mutable flush_scheduled : bool; (* a batch-window timer is outstanding *)
+  (* sharded mode: fibers blocked on a read-miss fetch, per location.
+     Replies from one home arrive in FIFO order, so matching the oldest
+     waiter of the reply's location is exact *)
+  fetch_waiters :
+    (Op.location, (int * int * (int * int) list -> unit) Queue.t) Hashtbl.t;
 }
 
 (* Registry handles resolved once at creation, so the per-operation
@@ -55,6 +60,7 @@ type hot = {
   c_barrier_subset : Metrics.Counter.t;
   c_await : Metrics.Counter.t;
   c_compute : Metrics.Counter.t;
+  c_fetch : Metrics.Counter.t;
   h_read : Metrics.Histogram.t;
   h_write_lock : Metrics.Histogram.t;
   h_read_lock : Metrics.Histogram.t;
@@ -62,6 +68,7 @@ type hot = {
   h_read_unlock : Metrics.Histogram.t;
   h_barrier : Metrics.Histogram.t;
   h_await : Metrics.Histogram.t;
+  h_fetch : Metrics.Histogram.t;
 }
 
 (* extra series maintained only when [Config.observe] is set *)
@@ -84,6 +91,10 @@ type t = {
      writer -1 marks the location's virtual initial value 0 *)
   live_values : (Op.location, (int * int * int) list ref) Hashtbl.t;
   counter_locs : (Op.location, unit) Hashtbl.t;
+  (* sharded mode, checker on: per (writer, shard) stream, the writes it
+     carried as (sseq, loc, recorded value), newest first — translates a
+     fetch snapshot clock into the admissible value set of a location *)
+  shard_log : (int * int, (int * Op.location * int) list ref) Hashtbl.t;
   mutable tag_counter : int;
   metrics : Metrics.Registry.t;
   hot : hot;
@@ -118,6 +129,12 @@ let batch_wire_bytes cfg b =
        vc_bytes cfg + (8 * Protocol.batch_delta_entries b)
      else 0)
 
+(* a shard update carries its shard id, stream sequence number and the
+   sparse shard-scoped delta clock instead of the full vector timestamp
+   — the wire-size advantage of the sharded mode *)
+let shard_update_wire_bytes cfg (su : Protocol.shard_update) =
+  cfg.Config.update_bytes + 8 + (8 * List.length su.su_sdep)
+
 let control_wire_bytes cfg msg =
   cfg.Config.control_bytes
   + (match msg with
@@ -129,6 +146,9 @@ let control_wire_bytes cfg msg =
   (match msg with
   | Protocol.Lock_grant { values; _ } | Protocol.Unlock_msg { values; _ } ->
     16 * List.length values
+  | Protocol.Fetch_reply { clock; _ } ->
+    (* the value plus the home's sparse snapshot clock *)
+    16 + (8 * List.length clock)
   | _ -> 0)
 
 let send t ~src ~dst ?(control = true) msg =
@@ -171,9 +191,50 @@ let handle_message t node_id ~src msg =
   | Protocol.Barrier_release { episode; dep; members; expect } ->
     Hashtbl.replace node.released (members, episode) (dep, expect);
     Replica.notify node.replica
+  | Protocol.Shard_update su ->
+    (* relay down the per-(writer, shard) dissemination tree before
+       ingesting: the tree is deterministic, so consecutive updates of
+       one stream traverse identical FIFO paths and stay in order *)
+    (match t.cfg.Config.placement with
+    | Some pl ->
+      let kids =
+        Mc_placement.Placement.children pl ~shard:su.su_shard
+          ~root:su.su_writer ~node:node_id
+      in
+      if kids <> [] then
+        Network.multicast t.net ~src:node_id ~dsts:kids
+          ~bytes:(shard_update_wire_bytes t.cfg su) ~kind:(Protocol.kind msg)
+          msg
+    | None -> ());
+    Replica.shard_receive node.replica su
+  | Protocol.Fetch_request { proc; loc } ->
+    (* this node is the shard's home: answer from the per-shard causal
+       view, stamped with its per-writer applied counts *)
+    let pl =
+      match t.cfg.Config.placement with
+      | Some pl -> pl
+      | None -> invalid_arg "Runtime: fetch request without a placement"
+    in
+    let shard = Mc_placement.Placement.shard_of_loc pl loc in
+    let numeric, tag = Replica.shard_read node.replica ~shard loc in
+    let clock = Replica.shard_clock node.replica ~shard in
+    send t ~src:node_id ~dst:proc (Protocol.Fetch_reply { loc; numeric; tag; clock })
+  | Protocol.Fetch_reply { loc; numeric; tag; clock } -> (
+    match Hashtbl.find_opt node.fetch_waiters loc with
+    | Some q when not (Queue.is_empty q) -> (Queue.pop q) (numeric, tag, clock)
+    | Some _ | None -> invalid_arg "Runtime: unexpected fetch reply")
 
 let create engine ?latency cfg =
   let n = cfg.Config.procs in
+  if cfg.Config.placement <> None && cfg.Config.multicast <> None then
+    invalid_arg
+      "Runtime.create: placement and multicast routing are mutually exclusive";
+  (* both routing modes disable the global causal machinery and run the
+     replicas gap-tolerant (PRAM view on receipt; sharded mode adds its
+     per-shard causal views on top) *)
+  let full_replication =
+    cfg.Config.multicast = None && cfg.Config.placement = None
+  in
   let latency =
     match latency with
     | Some l -> l
@@ -206,6 +267,7 @@ let create engine ?latency cfg =
       c_barrier_subset = op_counter "barrier_subset";
       c_await = op_counter "await";
       c_compute = op_counter "compute";
+      c_fetch = op_counter "fetch";
       h_read = wait_hist "read";
       h_write_lock = wait_hist "write_lock";
       h_read_lock = wait_hist "read_lock";
@@ -213,6 +275,7 @@ let create engine ?latency cfg =
       h_read_unlock = wait_hist "read_unlock";
       h_barrier = wait_hist "barrier";
       h_await = wait_hist "await";
+      h_fetch = wait_hist "fetch";
     }
   in
   let extras =
@@ -243,7 +306,7 @@ let create engine ?latency cfg =
                {
                  replica =
                    Replica.create engine ~id ~n ~groups:cfg.Config.groups
-                     ~causal_delivery:(cfg.Config.multicast = None)
+                     ~causal_delivery:full_replication
                      ~delivery:cfg.Config.delivery ();
                  grant_waiters = Hashtbl.create 4;
                  ack_waiters = Hashtbl.create 4;
@@ -257,6 +320,7 @@ let create engine ?latency cfg =
                  outbox = [];
                  outbox_len = 0;
                  flush_scheduled = false;
+                 fetch_waiters = Hashtbl.create 4;
                });
          lock_managers =
            Array.init n (fun home ->
@@ -276,6 +340,7 @@ let create engine ?latency cfg =
             else None);
          live_values = Hashtbl.create 32;
          counter_locs = Hashtbl.create 8;
+         shard_log = Hashtbl.create 64;
          tag_counter = 0;
          metrics;
          hot;
@@ -284,6 +349,16 @@ let create engine ?latency cfg =
        })
   in
   let t = Lazy.force t in
+  (* materialize the placement's subscriptions at the replicas *)
+  (match cfg.Config.placement with
+  | Some pl ->
+    Array.iteri
+      (fun id node ->
+        List.iter
+          (fun shard -> Replica.subscribe_shard node.replica ~shard ())
+          (Mc_placement.Placement.subscriptions pl ~node:id))
+      t.nodes
+  | None -> ());
   (match (t.recorder, t.checker) with
   | Some r, Some c -> Recorder.subscribe r (Mc_consistency.Online.sink c)
   | _ -> ());
@@ -354,6 +429,7 @@ let stability_sweep t =
   | Some r
     when t.checker <> None
          && t.cfg.Config.multicast = None
+         && t.cfg.Config.placement = None
          && Hashtbl.length t.live_values > 0 ->
     let n = t.cfg.Config.procs in
     let min_applied = Array.make n max_int in
@@ -448,6 +524,61 @@ let fresh_tag p =
 (* Memory operations                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* sharded mode: translate a fetch snapshot clock into the location's
+   admissible values — per writer counted in the snapshot, that writer's
+   latest write to [loc] within it. The log is complete up to every
+   snapshot count: writes are logged at issue time, strictly before the
+   home applies them and replies. *)
+let fetch_admissible t ~shard ~loc clock =
+  List.filter_map
+    (fun (w, c) ->
+      match Hashtbl.find_opt t.shard_log (w, shard) with
+      | None -> None
+      | Some l -> (
+        match
+          List.find_opt (fun (sseq, l', _) -> sseq <= c && l' = loc) !l
+        with
+        | Some (_, _, v) -> Some v
+        | None -> None))
+    clock
+
+(* demand-driven propagation for a non-subscriber: ask the shard's home
+   and block until the reply. A shard with no subscribers was never
+   written (writes require subscription), so its locations still hold
+   the virtual initial value — no message needed. *)
+let fetch_read p pl ~label ~shard loc =
+  Metrics.Counter.incr p.rt.hot.c_fetch;
+  let node = p.rt.nodes.(p.id) in
+  let numeric, tag, clock =
+    match Mc_placement.Placement.home pl ~shard with
+    | None -> (0, 0, [])
+    | Some home ->
+      send p.rt ~src:p.id ~dst:home
+        (Protocol.Fetch_request { proc = p.id; loc });
+      timed p p.rt.hot.h_fetch (fun () ->
+          Engine.suspend p.rt.engine (fun resume ->
+              let q =
+                match Hashtbl.find_opt node.fetch_waiters loc with
+                | Some q -> q
+                | None ->
+                  let q = Queue.create () in
+                  Hashtbl.add node.fetch_waiters loc q;
+                  q
+              in
+              Queue.push resume q))
+  in
+  (* announce the snapshot to the partial-view checker, atomically with
+     the record below (no suspension in between) *)
+  (match p.rt.checker with
+  | Some c ->
+    let admissible = fetch_admissible p.rt ~shard ~loc clock in
+    Mc_consistency.Online.note_fetch c ~proc:p.id ~loc ~admissible
+      ~zero_ok:(admissible = [])
+  | None -> ());
+  ignore
+    (record p (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
+  numeric
+
 let read p ?(label = Op.Causal) loc =
   Metrics.Counter.incr p.rt.hot.c_read;
   charge p;
@@ -463,26 +594,56 @@ let read p ?(label = Op.Causal) loc =
          pending updates are applied *)
       Replica.wait_until node.replica ~hint:(Replica.Loc loc) (fun () ->
           not (Replica.location_blocked node.replica loc));
-      let numeric, tag =
-        match label with
-        | Op.Causal ->
-          if p.rt.cfg.Config.multicast <> None then
-            invalid_arg
-              "Runtime.read: causal reads are unavailable under multicast routing";
-          Replica.causal_read node.replica loc
-        | Op.PRAM -> Replica.pram_read node.replica loc
-        | Op.Group group ->
-          if p.rt.cfg.Config.multicast <> None then
-            invalid_arg
-              "Runtime.read: group reads are unavailable under multicast routing";
-          if not (List.mem p.id group) then
-            invalid_arg "Runtime.read: process is not a member of the read group";
-          Replica.group_read node.replica ~group loc
-      in
-      ignore
-        (record p (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
-      trace_span p ~t0 ~args:[ ("loc", loc) ] "read";
-      numeric)
+      match p.rt.cfg.Config.placement with
+      | Some pl -> (
+        (match label with
+        | Op.Group _ ->
+          invalid_arg
+            "Runtime.read: group reads are unavailable under sharded placement"
+        | Op.Causal | Op.PRAM -> ());
+        let shard = Mc_placement.Placement.shard_of_loc pl loc in
+        if Replica.shard_subscribed node.replica ~shard then begin
+          let numeric, tag =
+            match label with
+            | Op.Causal -> Replica.shard_read node.replica ~shard loc
+            | Op.PRAM | Op.Group _ -> Replica.pram_read node.replica loc
+          in
+          ignore
+            (record p
+               (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
+          trace_span p ~t0 ~args:[ ("loc", loc) ] "read";
+          numeric
+        end
+        else begin
+          let numeric = fetch_read p pl ~label ~shard loc in
+          trace_span p ~t0 ~args:[ ("loc", loc) ] "fetched_read";
+          numeric
+        end)
+      | None ->
+        let numeric, tag =
+          match label with
+          | Op.Causal ->
+            if p.rt.cfg.Config.multicast <> None then
+              invalid_arg
+                "Runtime.read: causal reads are unavailable under multicast \
+                 routing";
+            Replica.causal_read node.replica loc
+          | Op.PRAM -> Replica.pram_read node.replica loc
+          | Op.Group group ->
+            if p.rt.cfg.Config.multicast <> None then
+              invalid_arg
+                "Runtime.read: group reads are unavailable under multicast \
+                 routing";
+            if not (List.mem p.id group) then
+              invalid_arg
+                "Runtime.read: process is not a member of the read group";
+            Replica.group_read node.replica ~group loc
+        in
+        ignore
+          (record p
+             (Op.Read { loc; label; value = recorded_value ~numeric ~tag }));
+        trace_span p ~t0 ~args:[ ("loc", loc) ] "read";
+        numeric)
 
 (* flush the buffered outbox: a single update goes out as a plain
    [Update] (same wire cost as the unbatched path), a longer run as one
@@ -562,6 +723,37 @@ let broadcast_update p (u : Protocol.update) =
       done
     | Some subs -> List.iter send_to (List.sort_uniq compare subs))
 
+(* sharded mode: credit the barrier count vectors for every subscriber
+   (they all eventually receive the update via the tree) and send it to
+   this writer's tree children only *)
+let shard_route p pl (su : Protocol.shard_update) =
+  let node = p.rt.nodes.(p.id) in
+  List.iter
+    (fun dst ->
+      if dst <> p.id then node.sent_updates.(dst) <- node.sent_updates.(dst) + 1)
+    (Mc_placement.Placement.subscribers pl ~shard:su.su_shard);
+  let kids =
+    Mc_placement.Placement.children pl ~shard:su.su_shard ~root:p.id ~node:p.id
+  in
+  if kids <> [] then
+    Network.multicast p.rt.net ~src:p.id ~dsts:kids
+      ~bytes:(shard_update_wire_bytes p.rt.cfg su)
+      ~kind:(Protocol.kind (Protocol.Shard_update su))
+      (Protocol.Shard_update su)
+
+(* feed the (writer, shard) stream log that [fetch_admissible] consults;
+   decrements are not logged — counter locations are never fetched (they
+   are only read through awaits and decrements, both of which require
+   subscription) *)
+let log_shard_write p (su : Protocol.shard_update) ~value =
+  if p.rt.checker <> None && not su.su_is_dec then begin
+    let key = (su.su_writer, su.su_shard) in
+    let entry = (su.su_sseq, su.su_loc, value) in
+    match Hashtbl.find_opt p.rt.shard_log key with
+    | Some l -> l := entry :: !l
+    | None -> Hashtbl.add p.rt.shard_log key (ref [ entry ])
+  end
+
 let track_write_set p loc ~numeric ~tag =
   let node = p.rt.nodes.(p.id) in
   match node.open_write_sets with
@@ -584,19 +776,30 @@ let write p loc v =
   let tag = fresh_tag p in
   ignore (record p (Op.Write { loc; value = tag }));
   trace_span p ~t0 ~args:[ ("loc", loc) ] "write";
-  if in_entry_section p then begin
-    (* guarded write: install locally and ship with the unlock instead of
-       broadcasting (entry consistency) *)
-    Replica.install_direct node.replica ~loc ~numeric:v ~tag;
-    track_write_set p loc ~numeric:v ~tag
-  end
-  else begin
-    let u = Replica.local_write node.replica ~loc ~numeric:v ~tag in
-    track_write_set p loc ~numeric:v ~tag;
-    if p.rt.checker <> None then
-      register_live p.rt loc ~value:tag ~writer:p.id ~useq:u.Protocol.useq;
-    broadcast_update p u
-  end
+  match p.rt.cfg.Config.placement with
+  | Some pl ->
+    (* write discipline: only subscribers of a shard may write it
+       ([Replica.shard_write] enforces it) — this guarantees
+       read-your-writes locally and keeps fetched locations
+       never-self-written *)
+    let shard = Mc_placement.Placement.shard_of_loc pl loc in
+    let su = Replica.shard_write node.replica ~shard ~loc ~numeric:v ~tag in
+    log_shard_write p su ~value:tag;
+    shard_route p pl su
+  | None ->
+    if in_entry_section p then begin
+      (* guarded write: install locally and ship with the unlock instead
+         of broadcasting (entry consistency) *)
+      Replica.install_direct node.replica ~loc ~numeric:v ~tag;
+      track_write_set p loc ~numeric:v ~tag
+    end
+    else begin
+      let u = Replica.local_write node.replica ~loc ~numeric:v ~tag in
+      track_write_set p loc ~numeric:v ~tag;
+      if p.rt.checker <> None then
+        register_live p.rt loc ~value:tag ~writer:p.id ~useq:u.Protocol.useq;
+      broadcast_update p u
+    end
 
 let init_counter p loc v =
   Metrics.Counter.incr p.rt.hot.c_init_counter;
@@ -607,15 +810,22 @@ let init_counter p loc v =
   ignore (record p (Op.Write { loc; value = v }));
   trace_span p ~t0 ~args:[ ("loc", loc) ] "init_counter";
   (* tag 0 marks the location as numerically recorded *)
-  if in_entry_section p then begin
-    Replica.install_direct node.replica ~loc ~numeric:v ~tag:0;
-    track_write_set p loc ~numeric:v ~tag:0
-  end
-  else begin
-    let u = Replica.local_write node.replica ~loc ~numeric:v ~tag:0 in
-    track_write_set p loc ~numeric:v ~tag:0;
-    broadcast_update p u
-  end
+  match p.rt.cfg.Config.placement with
+  | Some pl ->
+    let shard = Mc_placement.Placement.shard_of_loc pl loc in
+    let su = Replica.shard_write node.replica ~shard ~loc ~numeric:v ~tag:0 in
+    log_shard_write p su ~value:v;
+    shard_route p pl su
+  | None ->
+    if in_entry_section p then begin
+      Replica.install_direct node.replica ~loc ~numeric:v ~tag:0;
+      track_write_set p loc ~numeric:v ~tag:0
+    end
+    else begin
+      let u = Replica.local_write node.replica ~loc ~numeric:v ~tag:0 in
+      track_write_set p loc ~numeric:v ~tag:0;
+      broadcast_update p u
+    end
 
 let decrement p loc ~amount =
   Metrics.Counter.incr p.rt.hot.c_decrement;
@@ -623,18 +833,26 @@ let decrement p loc ~amount =
   let node = p.rt.nodes.(p.id) in
   let t0 = Engine.now p.rt.engine in
   mark_counter_loc p.rt loc;
-  (if in_entry_section p then begin
-     let observed, _ = Replica.causal_read node.replica loc in
-     ignore (record p (Op.Decrement { loc; amount; observed }));
-     Replica.install_direct node.replica ~loc ~numeric:(observed - amount) ~tag:0;
-     track_write_set p loc ~numeric:(observed - amount) ~tag:0
-   end
-   else begin
-     let u, observed = Replica.local_dec node.replica ~loc ~amount in
-     ignore (record p (Op.Decrement { loc; amount; observed }));
-     track_write_set p loc ~numeric:(observed - amount) ~tag:0;
-     broadcast_update p u
-   end);
+  (match p.rt.cfg.Config.placement with
+  | Some pl ->
+    let shard = Mc_placement.Placement.shard_of_loc pl loc in
+    let su, observed = Replica.shard_dec node.replica ~shard ~loc ~amount in
+    ignore (record p (Op.Decrement { loc; amount; observed }));
+    shard_route p pl su
+  | None ->
+    if in_entry_section p then begin
+      let observed, _ = Replica.causal_read node.replica loc in
+      ignore (record p (Op.Decrement { loc; amount; observed }));
+      Replica.install_direct node.replica ~loc ~numeric:(observed - amount)
+        ~tag:0;
+      track_write_set p loc ~numeric:(observed - amount) ~tag:0
+    end
+    else begin
+      let u, observed = Replica.local_dec node.replica ~loc ~amount in
+      ignore (record p (Op.Decrement { loc; amount; observed }));
+      track_write_set p loc ~numeric:(observed - amount) ~tag:0;
+      broadcast_update p u
+    end);
   trace_span p ~t0 ~args:[ ("loc", loc) ] "decrement"
 
 (* ------------------------------------------------------------------ *)
@@ -646,6 +864,10 @@ let acquire p lock ~write =
     invalid_arg
       "Runtime: locks are unavailable under multicast routing (use barriers; \
        the mode is for PRAM-consistent programs)";
+  if p.rt.cfg.Config.placement <> None then
+    invalid_arg
+      "Runtime: locks are unavailable under sharded placement (use barriers; \
+       cross-shard ordering comes from the barrier count scheme)";
   Metrics.Counter.incr
     (if write then p.rt.hot.c_write_lock else p.rt.hot.c_read_lock);
   charge p;
@@ -787,7 +1009,9 @@ let barrier_generic p ~members ~episode ~kind =
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   let t0 = Engine.now p.rt.engine in
-  let multicast = p.rt.cfg.Config.multicast <> None in
+  let counts_mode =
+    p.rt.cfg.Config.multicast <> None || p.rt.cfg.Config.placement <> None
+  in
   timed p p.rt.hot.h_barrier (fun () ->
       send p.rt ~src:p.id ~dst:0
         (Protocol.Barrier_arrive
@@ -796,7 +1020,7 @@ let barrier_generic p ~members ~episode ~kind =
              episode;
              vc = Replica.applied node.replica;
              members;
-             sent = (if multicast then Array.copy node.sent_updates else [||]);
+             sent = (if counts_mode then Array.copy node.sent_updates else [||]);
            });
       Replica.wait_until node.replica ~hint:Replica.Clock (fun () ->
           match Hashtbl.find_opt node.released (members, episode) with
@@ -860,8 +1084,19 @@ let await p loc v =
   let node = p.rt.nodes.(p.id) in
   let token = record_start p in
   let t0 = Engine.now p.rt.engine in
+  (match p.rt.cfg.Config.placement with
+  | Some pl ->
+    (* awaits busy-wait the local PRAM view, which only ever receives
+       updates of subscribed shards *)
+    let shard = Mc_placement.Placement.shard_of_loc pl loc in
+    if not (Replica.shard_subscribed node.replica ~shard) then
+      invalid_arg
+        "Runtime.await: cannot await an unsubscribed location under sharded \
+         placement"
+  | None -> ());
   let view () =
-    if p.rt.cfg.Config.multicast <> None then Replica.pram_read node.replica loc
+    if p.rt.cfg.Config.multicast <> None || p.rt.cfg.Config.placement <> None
+    then Replica.pram_read node.replica loc
     else
       match p.rt.cfg.Config.await_label with
       | Op.Causal -> Replica.causal_read node.replica loc
@@ -889,7 +1124,13 @@ let history t =
   | Some r -> Recorder.history r
   | None -> invalid_arg "Runtime.history: recording is disabled"
 
-let peek t ~proc loc = fst (Replica.causal_read t.nodes.(proc).replica loc)
+let peek t ~proc loc =
+  if t.cfg.Config.multicast <> None || t.cfg.Config.placement <> None then
+    fst (Replica.pram_read t.nodes.(proc).replica loc)
+  else fst (Replica.causal_read t.nodes.(proc).replica loc)
+
+let resident_objects t ~proc = Replica.resident_objects t.nodes.(proc).replica
+let fetch_count t = Metrics.Counter.get t.hot.c_fetch
 
 let metrics t = t.metrics
 let tracer t = t.tracer

@@ -119,8 +119,20 @@ val compute : proc -> float -> unit
 val history : t -> Mc_history.History.t
 
 (** [peek t ~proc loc] reads the causal view of a replica from outside
-    any fiber (for result extraction after [run]). *)
+    any fiber (for result extraction after [run]); under multicast or
+    sharded routing, where the global causal view is off, the PRAM
+    view. *)
 val peek : t -> proc:int -> Mc_history.Op.location -> int
+
+(** [resident_objects t ~proc] is the number of distinct locations
+    materialized at [proc]'s replica — under sharded placement, only the
+    locations of subscribed shards ever land here (fetched values are
+    not cached), the resident-state measure of EXP-SHARD. *)
+val resident_objects : t -> proc:int -> int
+
+(** [fetch_count t] is the number of read-miss fetches issued so far
+    (sharded placement only; 0 otherwise). *)
+val fetch_count : t -> int
 
 (** [wait_summaries t] gives the distribution of blocking time per
     operation kind ("read", "write_lock", "barrier", ...). Backed by the

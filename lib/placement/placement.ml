@@ -1,0 +1,172 @@
+type policy = Hash | Range of { objects : int }
+
+type t = {
+  n_shards : int;
+  t_policy : policy;
+  t_fanout : int;
+  (* shard -> subscribed node set *)
+  subs : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* node -> subscribed shard set *)
+  node_subs : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  loc_cache : (Mc_history.Op.location, int) Hashtbl.t;
+  (* (shard, root) -> node -> children, rebuilt after subscription churn *)
+  tree_cache : (int * int, (int, int list) Hashtbl.t) Hashtbl.t;
+  sorted_cache : (int, int list) Hashtbl.t;
+}
+
+let policy_to_string = function
+  | Hash -> "hash"
+  | Range _ -> "range"
+
+let policy_of_string = function
+  | "hash" -> Ok Hash
+  | "range" -> Ok (Range { objects = 0 })
+  | s -> Error (Printf.sprintf "unknown placement policy %S (hash|range)" s)
+
+let create ~shards ~policy ?(fanout = 4) () =
+  if shards <= 0 then invalid_arg "Placement.create: need at least one shard";
+  if fanout <= 0 then invalid_arg "Placement.create: fanout must be positive";
+  {
+    n_shards = shards;
+    t_policy = policy;
+    t_fanout = fanout;
+    subs = Hashtbl.create 64;
+    node_subs = Hashtbl.create 64;
+    loc_cache = Hashtbl.create 256;
+    tree_cache = Hashtbl.create 64;
+    sorted_cache = Hashtbl.create 64;
+  }
+
+let shards t = t.n_shards
+let fanout t = t.t_fanout
+let policy t = t.t_policy
+
+(* trailing decimal run of [loc], e.g. "x:17" -> Some 17 *)
+let numeric_suffix loc =
+  let len = String.length loc in
+  let rec start i =
+    if i > 0 && loc.[i - 1] >= '0' && loc.[i - 1] <= '9' then start (i - 1)
+    else i
+  in
+  let s = start len in
+  if s = len then None else int_of_string_opt (String.sub loc s (len - s))
+
+let compute_shard t loc =
+  match t.t_policy with
+  | Hash -> Hashtbl.hash loc mod t.n_shards
+  | Range { objects } -> (
+    match numeric_suffix loc with
+    | Some id when objects > 0 ->
+      let per = (objects + t.n_shards - 1) / t.n_shards in
+      min (t.n_shards - 1) (id / per)
+    | Some id -> id mod t.n_shards
+    | None -> Hashtbl.hash loc mod t.n_shards)
+
+let shard_of_loc t loc =
+  match Hashtbl.find_opt t.loc_cache loc with
+  | Some s -> s
+  | None ->
+    let s = compute_shard t loc in
+    Hashtbl.add t.loc_cache loc s;
+    s
+
+let check_shard t shard =
+  if shard < 0 || shard >= t.n_shards then
+    invalid_arg (Printf.sprintf "Placement: shard %d out of range" shard)
+
+let set tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 8 in
+    Hashtbl.add tbl key s;
+    s
+
+(* drop every cached tree of this shard, whatever its root *)
+let invalidate t shard =
+  Hashtbl.remove t.sorted_cache shard;
+  let stale =
+    Hashtbl.fold
+      (fun (sh, root) _ acc -> if sh = shard then (sh, root) :: acc else acc)
+      t.tree_cache []
+  in
+  List.iter (Hashtbl.remove t.tree_cache) stale
+
+let subscribe t ~node ~shard =
+  check_shard t shard;
+  if node < 0 then invalid_arg "Placement.subscribe: negative node";
+  Hashtbl.replace (set t.subs shard) node ();
+  Hashtbl.replace (set t.node_subs node) shard ();
+  invalidate t shard
+
+let unsubscribe t ~node ~shard =
+  check_shard t shard;
+  (match Hashtbl.find_opt t.subs shard with
+  | Some s -> Hashtbl.remove s node
+  | None -> ());
+  (match Hashtbl.find_opt t.node_subs node with
+  | Some s -> Hashtbl.remove s shard
+  | None -> ());
+  invalidate t shard
+
+let is_subscribed t ~node ~shard =
+  match Hashtbl.find_opt t.subs shard with
+  | Some s -> Hashtbl.mem s node
+  | None -> false
+
+let sorted_members tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) s [])
+  | None -> []
+
+let subscribers t ~shard =
+  check_shard t shard;
+  match Hashtbl.find_opt t.sorted_cache shard with
+  | Some l -> l
+  | None ->
+    let l = sorted_members t.subs shard in
+    Hashtbl.add t.sorted_cache shard l;
+    l
+
+let subscriptions t ~node = sorted_members t.node_subs node
+
+let home t ~shard =
+  match subscribers t ~shard with [] -> None | least :: _ -> Some least
+
+(* k-ary heap layout over the subscriber list rotated so [root] leads:
+   the node at index i forwards to indices k*i+1 .. k*i+k. Rotation (not
+   re-sorting) keeps the layout deterministic per (shard, root). *)
+let build_tree t ~shard ~root =
+  let subs = subscribers t ~shard in
+  let order = root :: List.filter (fun n -> n <> root) subs in
+  let arr = Array.of_list order in
+  let len = Array.length arr in
+  let k = t.t_fanout in
+  let tbl = Hashtbl.create (max 8 len) in
+  Array.iteri
+    (fun i node ->
+      let first = (k * i) + 1 in
+      let last = min len (first + k) in
+      let rec take j acc =
+        if j >= last then List.rev acc else take (j + 1) (arr.(j) :: acc)
+      in
+      Hashtbl.replace tbl node (take first []))
+    arr;
+  tbl
+
+let children t ~shard ~root ~node =
+  check_shard t shard;
+  let tbl =
+    match Hashtbl.find_opt t.tree_cache (shard, root) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = build_tree t ~shard ~root in
+      Hashtbl.add t.tree_cache (shard, root) tbl;
+      tbl
+  in
+  match Hashtbl.find_opt tbl node with Some cs -> cs | None -> []
+
+let pp fmt t =
+  Format.fprintf fmt "placement(%d shards, %s, fanout %d)" t.n_shards
+    (policy_to_string t.t_policy)
+    t.t_fanout

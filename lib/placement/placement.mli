@@ -1,0 +1,81 @@
+(** Object placement for the sharded, partially-replicated DSM.
+
+    The Section-6 implementation sketch replicates every variable at
+    every node; this module removes that assumption. A placement maps
+    every location to exactly one {e shard} and every shard to the set
+    of nodes {e subscribed} to it. Writers disseminate a shard's updates
+    only to its subscribers, along a deterministic k-ary multicast tree
+    rooted at the writer; everyone else obtains values on demand
+    (read-miss fetch from the shard's {!home} subscriber).
+
+    Formally this is the partition-consistency construction of
+    Steinke/Nutt specialized to the paper's model: ordering guarantees
+    (per-writer FIFO, per-shard causality) hold {e within} a shard, and
+    cross-shard ordering is recovered through synchronization operations
+    (barrier count vectors), exactly as Section 6's update-count scheme
+    already provides for multicast routing. *)
+
+type t
+
+(** Static assignment of locations to shards. [Hash] spreads locations
+    by string hash. [Range ~objects] assigns locations with a numeric
+    suffix ("x:17") to contiguous ranges of [objects / shards] ids —
+    the layout that keeps one worker's rows on one shard; locations
+    without a numeric suffix fall back to hashing. *)
+type policy = Hash | Range of { objects : int }
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> (policy, string) result
+(** [policy_of_string] accepts ["hash"] and ["range"] (with
+    [Range { objects = 0 }] meaning "size taken from [shards]"); the
+    caller patches [objects] when it knows the workload size. *)
+
+(** [create ~shards ~policy ()] builds a placement with no subscribers.
+    [fanout] (default 4) bounds each node's out-degree in the per-shard
+    dissemination trees. *)
+val create : shards:int -> policy:policy -> ?fanout:int -> unit -> t
+
+val shards : t -> int
+val fanout : t -> int
+val policy : t -> policy
+
+(** [shard_of_loc t loc] is the shard owning [loc] (memoized). *)
+val shard_of_loc : t -> Mc_history.Op.location -> int
+
+(** {1 Subscriptions}
+
+    The subscription API configures which nodes replicate which shards.
+    Subscriptions are set up before the runtime is created; the replica
+    layer additionally supports mid-stream churn via snapshot handshakes
+    (see {!Mc_dsm.Replica.subscribe_shard}). *)
+
+val subscribe : t -> node:int -> shard:int -> unit
+val unsubscribe : t -> node:int -> shard:int -> unit
+val is_subscribed : t -> node:int -> shard:int -> bool
+
+(** [subscribers t ~shard] is the sorted list of subscribed nodes. *)
+val subscribers : t -> shard:int -> int list
+
+(** [subscriptions t ~node] is the sorted list of shards [node]
+    subscribes to. *)
+val subscriptions : t -> node:int -> int list
+
+(** [home t ~shard] is the deterministic fetch target for non-subscriber
+    reads: the least subscriber id ([None] when the shard has no
+    subscribers, i.e. was never written). Fetching always from the same
+    home over a FIFO channel makes successive fetched reads of a
+    location monotone in the home's per-shard apply order. *)
+val home : t -> shard:int -> int option
+
+(** {1 Dissemination trees} *)
+
+(** [children t ~shard ~root ~node] are the nodes [node] must forward a
+    shard-[shard] update originated by [root] to. The tree is the k-ary
+    heap layout over the sorted subscriber list rotated so [root] comes
+    first; it is deterministic per (shard, root), so consecutive updates
+    of one (writer, shard) stream traverse identical FIFO paths and
+    arrive in order at every subscriber. Results are memoized and the
+    cache is invalidated by subscription changes. *)
+val children : t -> shard:int -> root:int -> node:int -> int list
+
+val pp : Format.formatter -> t -> unit

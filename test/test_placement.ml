@@ -1,0 +1,146 @@
+(* Unit and property tests for Mc_placement.Placement: the loc -> shard
+   policies, the subscription registry, the home function and the
+   per-(shard, root) dissemination trees. *)
+
+module P = Mc_placement.Placement
+module Rng = Mc_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_range_policy () =
+  let pl = P.create ~shards:10 ~policy:(P.Range { objects = 100 }) () in
+  (* per-shard span is ceil(100/10) = 10 *)
+  check_int "first id" 0 (P.shard_of_loc pl "s:0");
+  check_int "last of shard 0" 0 (P.shard_of_loc pl "s:9");
+  check_int "first of shard 1" 1 (P.shard_of_loc pl "s:10");
+  check_int "last id" 9 (P.shard_of_loc pl "s:99");
+  check_int "overflow ids clamp to the last shard" 9 (P.shard_of_loc pl "s:150");
+  (* locations without a numeric suffix fall back to hashing *)
+  let h = P.shard_of_loc pl "done" in
+  check "hash fallback in range" true (h >= 0 && h < 10);
+  check_int "hash fallback deterministic" h (P.shard_of_loc pl "done")
+
+let test_hash_policy () =
+  let pl = P.create ~shards:7 ~policy:P.Hash () in
+  List.iter
+    (fun loc ->
+      let s = P.shard_of_loc pl loc in
+      check (loc ^ " in range") true (s >= 0 && s < 7);
+      check_int (loc ^ " deterministic") s (P.shard_of_loc pl loc))
+    [ "x:0"; "x:1"; "y"; "done"; "cnt:42" ]
+
+let test_policy_strings () =
+  (* the textual form names the constructor; a range's object count is
+     supplied separately (on the CLI, by --objects) *)
+  let ctor = function P.Hash -> "hash" | P.Range _ -> "range" in
+  List.iter
+    (fun p ->
+      match P.policy_of_string (P.policy_to_string p) with
+      | Ok p' -> Alcotest.(check string) "roundtrip" (ctor p) (ctor p')
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    [ P.Hash; P.Range { objects = 64 } ];
+  check "garbage rejected" true
+    (match P.policy_of_string "nonsense" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions and home                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_subscriptions () =
+  let pl = P.create ~shards:4 ~policy:P.Hash () in
+  check_ints "initially empty" [] (P.subscribers pl ~shard:2);
+  check "no home" true (P.home pl ~shard:2 = None);
+  P.subscribe pl ~node:5 ~shard:2;
+  P.subscribe pl ~node:1 ~shard:2;
+  P.subscribe pl ~node:3 ~shard:2;
+  P.subscribe pl ~node:1 ~shard:2 (* duplicate *);
+  check_ints "sorted, deduplicated" [ 1; 3; 5 ] (P.subscribers pl ~shard:2);
+  check "home is least subscriber" true (P.home pl ~shard:2 = Some 1);
+  check "is_subscribed" true (P.is_subscribed pl ~node:3 ~shard:2);
+  P.subscribe pl ~node:3 ~shard:0;
+  check_ints "per-node view" [ 0; 2 ] (P.subscriptions pl ~node:3);
+  P.unsubscribe pl ~node:1 ~shard:2;
+  check_ints "after unsubscribe" [ 3; 5 ] (P.subscribers pl ~shard:2);
+  check "home recomputed" true (P.home pl ~shard:2 = Some 3);
+  check "is_subscribed off" false (P.is_subscribed pl ~node:1 ~shard:2)
+
+(* ------------------------------------------------------------------ *)
+(* Dissemination trees                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the tree from [root] and collect every reached node. *)
+let reachable pl ~shard ~root =
+  let seen = Hashtbl.create 16 in
+  let rec go node =
+    if Hashtbl.mem seen node then
+      Alcotest.failf "node %d reached twice (shard %d root %d)" node shard root;
+    Hashtbl.add seen node ();
+    List.iter go (P.children pl ~shard ~root ~node)
+  in
+  go root;
+  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) seen [])
+
+let test_tree_covers_subscribers () =
+  for seed = 1 to 30 do
+    let rng = Rng.make (9100 + seed) in
+    let fanout = 1 + Rng.int rng 4 in
+    let pl = P.create ~shards:3 ~policy:P.Hash ~fanout () in
+    let n = 1 + Rng.int rng 12 in
+    for _ = 1 to n do
+      P.subscribe pl ~node:(Rng.int rng 40) ~shard:1
+    done;
+    let subs = P.subscribers pl ~shard:1 in
+    List.iter
+      (fun root ->
+        let name what =
+          Printf.sprintf "seed %d fanout %d root %d: %s" seed fanout root what
+        in
+        check_ints (name "tree spans the subscriber set") subs
+          (reachable pl ~shard:1 ~root);
+        List.iter
+          (fun node ->
+            let kids = P.children pl ~shard:1 ~root ~node in
+            check (name "fanout bound") true (List.length kids <= fanout);
+            check (name "deterministic") true
+              (kids = P.children pl ~shard:1 ~root ~node);
+            check (name "root is nobody's child") true
+              (not (List.mem root kids)))
+          subs)
+      subs
+  done
+
+let test_tree_follows_churn () =
+  let pl = P.create ~shards:2 ~policy:P.Hash ~fanout:2 () in
+  List.iter (fun n -> P.subscribe pl ~node:n ~shard:0) [ 0; 1; 2; 3; 4 ];
+  check_ints "full set" [ 0; 1; 2; 3; 4 ] (reachable pl ~shard:0 ~root:2);
+  P.unsubscribe pl ~node:3 ~shard:0;
+  (* memoized trees must be invalidated by the membership change *)
+  check_ints "after unsubscribe" [ 0; 1; 2; 4 ] (reachable pl ~shard:0 ~root:2);
+  P.subscribe pl ~node:7 ~shard:0;
+  check_ints "after resubscribe" [ 0; 1; 2; 4; 7 ] (reachable pl ~shard:0 ~root:2)
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "range" `Quick test_range_policy;
+          Alcotest.test_case "hash" `Quick test_hash_policy;
+          Alcotest.test_case "strings" `Quick test_policy_strings;
+        ] );
+      ( "subscriptions",
+        [ Alcotest.test_case "registry and home" `Quick test_subscriptions ] );
+      ( "trees",
+        [
+          Alcotest.test_case "random sets are spanned" `Quick
+            test_tree_covers_subscribers;
+          Alcotest.test_case "churn invalidates memos" `Quick
+            test_tree_follows_churn;
+        ] );
+    ]
