@@ -78,7 +78,8 @@ type stats = {
 }
 
 let run_mixed ?(procs = 4) ?(propagation = Config.Lazy) ?(timestamped = true)
-    ?(await_label = Op.Causal) ?(groups = []) ?multicast ?placement ?latency f =
+    ?(await_label = Op.Causal) ?(groups = []) ?multicast ?placement ?latency
+    ?(observe = false) ?tracer f =
   let engine = Engine.create () in
   let cfg =
     {
@@ -89,6 +90,8 @@ let run_mixed ?(procs = 4) ?(propagation = Config.Lazy) ?(timestamped = true)
       groups;
       multicast;
       placement;
+      observe;
+      tracer;
     }
   in
   let rt = Runtime.create engine ?latency cfg in

@@ -883,7 +883,8 @@ module Obs_trace = Mc_obs.Trace
 (* run one Section-5 app on the mixed runtime with the full Mc_obs
    instrumentation attached; returns the runtime and the final sim
    time *)
-let observed_run ~app ~propagation ~seed ~record ~tracer =
+let observed_run ?placement ?(check_online = false) ~app ~propagation ~seed
+    ~record ~tracer () =
   let engine = Engine.create () in
   let procs, batch_max, launch =
     match app with
@@ -916,6 +917,8 @@ let observed_run ~app ~propagation ~seed ~record ~tracer =
       batch_max;
       observe = true;
       tracer;
+      placement;
+      check_online;
     }
   in
   let rt = Runtime.create engine cfg in
@@ -952,7 +955,9 @@ let write_file path payload =
 
 let metrics_cmd =
   let run app propagation seed json out =
-    let rt, time = observed_run ~app ~propagation ~seed ~record:false ~tracer:None in
+    let rt, time =
+      observed_run ~app ~propagation ~seed ~record:false ~tracer:None ()
+    in
     let reg = Runtime.metrics rt in
     let payload =
       if json then Metrics.Registry.to_json reg
@@ -984,7 +989,7 @@ let trace_cmd =
   let run app propagation seed json out format buffer =
     let tracer = Obs_trace.create ~capacity:buffer () in
     let rt, time =
-      observed_run ~app ~propagation ~seed ~record:true ~tracer:(Some tracer)
+      observed_run ~app ~propagation ~seed ~record:true ~tracer:(Some tracer) ()
     in
     let ops = Mc_history.History.length (Runtime.history rt) in
     let spans = Obs_trace.span_count tracer in
@@ -1045,6 +1050,300 @@ let trace_cmd =
           value & flag
           & info [ "json" ] ~doc:"Print a machine-readable summary on stdout.")
       $ out_arg $ format_arg $ buffer_arg)
+
+(* ---------------- report ---------------- *)
+
+module Report = Mc_obs.Report
+
+(* Join every online-checker verdict to its causal path: the checker
+   names the read and (for overwritten verdicts) the interposing write;
+   the runtime's shard log resolves each recorded value to its (writer,
+   shard, sseq) stream coordinates, and the flight recorder yields the
+   tree hops and apply times of that update. An incomplete flight is a
+   value still in transit — the usual shape of an engineered staleness
+   violation (e.g. a paused link). *)
+let assemble_violations rt checker =
+  let h = Runtime.history rt in
+  let fetched = Online.fetched_ids checker in
+  let prov_and_path loc value =
+    match Runtime.shard_write_source rt ~loc ~value with
+    | None -> (None, [], [], true)
+    | Some (w, s, q) -> (
+      let prov = Some { Report.p_writer = w; p_shard = s; p_sseq = q } in
+      match Runtime.shard_flight rt ~writer:w ~shard:s ~sseq:q with
+      | None -> (prov, [], [], true)
+      | Some fi ->
+        ( prov,
+          List.map
+            (fun (src, dst, sent, recv) ->
+              { Report.h_src = src; h_dst = dst; h_sent = sent; h_recv = recv })
+            fi.Runtime.fi_hops,
+          fi.Runtime.fi_applies,
+          fi.Runtime.fi_complete ))
+  in
+  List.map
+    (fun (f : Mixed_chk.failure) ->
+      let op = Mc_history.History.op h f.Mixed_chk.read_id in
+      let loc, value =
+        match op.Op.kind with
+        | Op.Read { loc; value; _ } -> (loc, value)
+        | _ -> ("?", 0)
+      in
+      let verdict, over = verdict_fields f.Mixed_chk.verdict in
+      let v_source, v_path, _, _ = prov_and_path loc value in
+      let v_overwritten_by =
+        Option.map
+          (fun w_id ->
+            let wop = Mc_history.History.op h w_id in
+            let wvalue =
+              match Op.writes_value wop with
+              | Some (wloc, wv) when wloc = loc -> wv
+              | _ -> 0
+            in
+            let o_source, o_path, o_applies, o_complete =
+              prov_and_path loc wvalue
+            in
+            {
+              Report.o_write_id = w_id;
+              o_value = wvalue;
+              o_source;
+              o_path;
+              o_applies;
+              o_complete;
+            })
+          over
+      in
+      {
+        Report.v_read_id = f.Mixed_chk.read_id;
+        v_proc = op.Op.proc;
+        v_loc = loc;
+        v_label = label_string f.Mixed_chk.label;
+        v_verdict = verdict;
+        v_value = value;
+        v_fetched = List.mem f.Mixed_chk.read_id fetched;
+        v_source;
+        v_path;
+        v_overwritten_by;
+      })
+    (Online.failures checker)
+
+(* The engineered-staleness demo workload of [mcdsm report --app
+   violation]: writer 2 writes shard 0 (direct edge 2 -> 1, paused) then
+   shard 1 (whose tree routes 2 -> 0 -> 1); process 1 observes the later
+   write and then PRAM-reads the older location stale — a real PRAM
+   violation whose causal path the audit must exhibit. One extra read of
+   an unsubscribed location exercises the demand-fetch path. *)
+let violation_run ~tracer =
+  let engine = Engine.create () in
+  let pl =
+    Placement.create ~shards:3 ~policy:(Placement.Range { objects = 30 })
+      ~fanout:1 ()
+  in
+  List.iter (fun n -> Placement.subscribe pl ~node:n ~shard:0) [ 1; 2 ];
+  List.iter (fun n -> Placement.subscribe pl ~node:n ~shard:1) [ 0; 1; 2 ];
+  Placement.subscribe pl ~node:0 ~shard:2;
+  let cfg =
+    {
+      (Config.default ~procs:3) with
+      record = true;
+      check_online = true;
+      observe = true;
+      placement = Some pl;
+      await_label = Op.PRAM;
+      tracer = Some tracer;
+    }
+  in
+  let rt = Runtime.create engine cfg in
+  Mc_net.Network.pause_link (Runtime.network rt) ~src:2 ~dst:1;
+  Runtime.spawn_process rt 2 (fun p ->
+      Runtime.write p "s:5" 11;
+      Runtime.write p "s:15" 22);
+  Runtime.spawn_process rt 1 (fun p ->
+      Runtime.await p "s:15" 22;
+      ignore (Runtime.read p ~label:Op.PRAM "s:5");
+      ignore (Runtime.read p ~label:Op.PRAM "s:25"));
+  let time = Runtime.run rt in
+  (rt, time)
+
+let report_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let run app propagation seed shards policy json top out trace_file
+      metrics_file buffer =
+    let propagation_str =
+      Format.asprintf "%a" Config.pp_propagation propagation
+    in
+    let input =
+      match trace_file with
+      | Some tpath ->
+        (* trace-file mode: re-analyze an exported trace (and optional
+           metrics dump); no checker ran here, so the audit is marked
+           unavailable rather than claimed clean *)
+        let events = Report.parse_trace (read_file tpath) in
+        let metrics =
+          match metrics_file with
+          | Some mpath -> Report.parse_metrics (read_file mpath)
+          | None -> []
+        in
+        info ~json "trace-file mode: %d event(s) from %s\n"
+          (List.length events) tpath;
+        {
+          Report.events;
+          metrics;
+          violations = None;
+          meta =
+            [ ("mode", "trace-file"); ("trace", Filename.basename tpath) ]
+            @
+            (match metrics_file with
+            | Some mpath -> [ ("metrics", Filename.basename mpath) ]
+            | None -> []);
+        }
+      | None ->
+        (* live mode: run the app with metrics + tracer + recorder +
+           online checker attached, then analyze in-process *)
+        let tracer = Obs_trace.create ~capacity:buffer () in
+        let rt, time, app_name, shards =
+          match app with
+          | `Violation ->
+            let rt, time = violation_run ~tracer in
+            (rt, time, "violation", 3)
+          | (`Solver | `Em | `Cholesky | `Delivery) as app ->
+            let name =
+              match app with
+              | `Solver -> "solver"
+              | `Em -> "em"
+              | `Cholesky -> "cholesky"
+              | `Delivery -> "delivery"
+            in
+            let placement =
+              if shards <= 0 then None
+              else begin
+                if app <> `Solver then begin
+                  prerr_endline
+                    "mcdsm report: --shards supports --app solver only";
+                  exit 2
+                end;
+                let policy =
+                  match policy with
+                  | Placement.Range _ -> Placement.Range { objects = 8 }
+                  | Placement.Hash -> Placement.Hash
+                in
+                let pl = Placement.create ~shards ~policy () in
+                Solver.subscribe_shards pl ~procs:3 ~n:8;
+                Some pl
+              end
+            in
+            let rt, time =
+              observed_run ?placement ~check_online:true ~app ~propagation
+                ~seed ~record:true ~tracer:(Some tracer) ()
+            in
+            (rt, time, name, shards)
+        in
+        let violations =
+          Option.map (assemble_violations rt) (Runtime.online_checker rt)
+        in
+        if Obs_trace.dropped tracer > 0 then
+          info ~json
+            "warning: ring buffer overflowed, %d event(s) dropped (raise \
+             --buffer)\n"
+            (Obs_trace.dropped tracer);
+        info ~json "sim time=%.1fus events=%d series=%d\n" time
+          (Obs_trace.event_count tracer)
+          (Metrics.Registry.series_count (Runtime.metrics rt));
+        {
+          Report.events = Obs_trace.events tracer;
+          metrics = Metrics.Registry.snapshot (Runtime.metrics rt);
+          violations;
+          meta =
+            [
+              ("mode", "live");
+              ("app", app_name);
+              ("propagation", propagation_str);
+              ("seed", string_of_int seed);
+              ("shards", string_of_int shards);
+              ("sim_time_us", Printf.sprintf "%.1f" time);
+            ];
+        }
+    in
+    let report = Report.analyze ~top_k:top input in
+    let payload =
+      if json then Report.to_json report else Report.to_text report
+    in
+    match out with
+    | Some path ->
+      write_file path payload;
+      if json then
+        Printf.printf "{\"out\":%S,\"events\":%d}\n" path report.Report.r_events
+      else Printf.printf "report written to %s\n" path
+    | None -> print_string (payload ^ if json then "\n" else "")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("solver", `Solver);
+               ("em", `Em);
+               ("cholesky", `Cholesky);
+               ("delivery", `Delivery);
+               ("violation", `Violation);
+             ])
+          `Solver
+      & info [ "app" ] ~docv:"APP"
+          ~doc:
+            "Live-mode workload: solver, em, cholesky, delivery, or \
+             violation (an engineered stale read on a paused link, to \
+             demonstrate the audit).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Rows in the slowest-shard and hottest-key rankings.")
+  in
+  let trace_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Analyze an exported trace (chrome or jsonl) instead of \
+             running an app. The violation audit needs the online \
+             checker, so it is unavailable in this mode.")
+  in
+  let metrics_in_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"With --trace: a `mcdsm metrics --json` dump to include.")
+  in
+  let buffer_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "buffer" ] ~docv:"N" ~doc:"Tracer ring-buffer capacity (events).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Postmortem analyzer: per-shard visibility-latency percentiles, \
+          demand-fetch round trips, gap-buffer stalls, hottest keys and a \
+          violation audit joining checker verdicts to their causal paths")
+    Term.(
+      const run $ app_arg $ propagation_arg $ seed_arg $ shards_arg
+      $ placement_arg
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:
+                "Emit the report as one deterministic JSON object on \
+                 stdout; human-readable lines go to stderr.")
+      $ top_arg $ out_arg $ trace_in_arg $ metrics_in_arg $ buffer_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -1185,4 +1484,5 @@ let () =
             lint_cmd;
             metrics_cmd;
             trace_cmd;
+            report_cmd;
           ]))

@@ -19,10 +19,15 @@ type hint = Loc of Mc_history.Op.location | Clock | Any
 type watcher = { wseq : int; hint : hint; pred : unit -> bool; resume : unit -> unit }
 
 type obs = {
+  o_reg : Mc_obs.Metrics.Registry.t;
   h_delay : Mc_obs.Metrics.Histogram.t; (* receipt -> causal apply, sim µs *)
   g_depth : Mc_obs.Metrics.Gauge.t; (* pending updates, per node *)
   h_batch : Mc_obs.Metrics.Histogram.t;
   arrivals : (int * int, float) Hashtbl.t; (* (writer, useq) -> arrival time *)
+  (* per-shard gap-buffer series, shared across replicas through the
+     registry (labelled by shard only — the high water aggregates) *)
+  gap_gauges : (int, Mc_obs.Metrics.Gauge.t) Hashtbl.t;
+  gap_buffered : (int, Mc_obs.Metrics.Counter.t) Hashtbl.t;
 }
 
 (* A Section-3.2 group view: causality maintained across [members].
@@ -109,6 +114,9 @@ type t = {
          [shards] instead) *)
   shards : (int, shard_state) Hashtbl.t; (* subscribed shards only *)
   mutable obs : obs option;
+  (* fires after every remote shard update is applied to the shard view;
+     the runtime uses it to measure write-visibility latency *)
+  mutable on_shard_apply : (shard:int -> writer:int -> sseq:int -> unit) option;
 }
 
 let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
@@ -160,13 +168,21 @@ let create engine ~id ~n ?(groups = []) ?(causal_delivery = true)
     causal_delivery;
     shards = Hashtbl.create 8;
     obs = None;
+    on_shard_apply = None;
   }
+
+let set_shard_apply_observer t f = t.on_shard_apply <- Some f
 
 let attach_metrics t reg =
   let module M = Mc_obs.Metrics in
+  M.Registry.gauge_fn reg ~help:"locations resident in the local view"
+    ~labels:[ ("node", string_of_int t.node_id) ]
+    "mc_resident_objects"
+    (fun () -> float_of_int (Hashtbl.length t.pram_view));
   t.obs <-
     Some
       {
+        o_reg = reg;
         h_delay =
           M.Registry.histogram reg
             ~help:"delay between receipt and causal application (us)"
@@ -179,7 +195,35 @@ let attach_metrics t reg =
           M.Registry.histogram reg ~help:"updates per received batch"
             "mc_update_batch_size";
         arrivals = Hashtbl.create 64;
+        gap_gauges = Hashtbl.create 8;
+        gap_buffered = Hashtbl.create 8;
       }
+
+let gap_gauge o shard =
+  match Hashtbl.find_opt o.gap_gauges shard with
+  | Some g -> g
+  | None ->
+    let g =
+      Mc_obs.Metrics.Registry.gauge o.o_reg
+        ~help:"shard updates parked on a sequence gap"
+        ~labels:[ ("shard", string_of_int shard) ]
+        "mc_shard_gap_depth"
+    in
+    Hashtbl.add o.gap_gauges shard g;
+    g
+
+let gap_counter o shard =
+  match Hashtbl.find_opt o.gap_buffered shard with
+  | Some c -> c
+  | None ->
+    let c =
+      Mc_obs.Metrics.Registry.counter o.o_reg
+        ~help:"shard updates that stalled in the gap buffer"
+        ~labels:[ ("shard", string_of_int shard) ]
+        "mc_shard_gap_buffered_total"
+    in
+    Hashtbl.add o.gap_buffered shard c;
+    c
 
 let id t = t.node_id
 let applied t = Array.copy t.applied_counts
@@ -802,7 +846,11 @@ let shard_apply t st (su : Protocol.shard_update) =
   apply_shard_payload st.sh_view ~loc:su.su_loc ~numeric:su.su_numeric
     ~tag:su.su_tag ~is_dec:su.su_is_dec;
   Hashtbl.replace st.sh_applied su.su_writer su.su_sseq;
-  mark_dirty_loc t su.su_loc
+  mark_dirty_loc t su.su_loc;
+  match t.on_shard_apply with
+  | Some f when su.su_writer <> t.node_id ->
+    f ~shard:su.su_shard ~writer:su.su_writer ~sseq:su.su_sseq
+  | _ -> ()
 
 let drain_shard t st =
   let progress = ref true in
@@ -874,11 +922,18 @@ let shard_receive t (su : Protocol.shard_update) =
     apply_shard_payload t.pram_view ~loc:su.su_loc ~numeric:su.su_numeric
       ~tag:su.su_tag ~is_dec:su.su_is_dec;
     mark_dirty_loc t su.su_loc;
+    (match t.obs with
+    | Some o when not (shard_deliverable st su) ->
+      (* arrived ahead of a sequence gap: it will sit in the buffer *)
+      Mc_obs.Metrics.Counter.incr (gap_counter o su.su_shard)
+    | _ -> ());
     st.sh_pending <- st.sh_pending @ [ su ];
     drain_shard t st;
     (match t.obs with
     | Some o ->
-      Mc_obs.Metrics.Gauge.set o.g_depth (float_of_int (pending_count t))
+      Mc_obs.Metrics.Gauge.set o.g_depth (float_of_int (pending_count t));
+      Mc_obs.Metrics.Gauge.set (gap_gauge o su.su_shard)
+        (float_of_int (List.length st.sh_pending))
     | None -> ());
     fire_dirty t
 
@@ -895,3 +950,8 @@ let shard_queue_depths t =
     (fun shard st acc -> (shard, List.length st.sh_pending) :: acc)
     t.shards []
   |> List.sort compare
+
+let shard_pending_len t ~shard =
+  match Hashtbl.find_opt t.shards shard with
+  | Some st -> List.length st.sh_pending
+  | None -> 0

@@ -142,7 +142,12 @@ val notify : t -> unit
 (** [attach_metrics t reg] registers delivery metrics in [reg] and starts
     updating them: [mc_delivery_delay_us] (receipt → causal application,
     simulated µs), [mc_delivery_queue_depth] (gauge, labelled by [node]),
-    and [mc_update_batch_size] (updates per received batch). *)
+    [mc_update_batch_size] (updates per received batch),
+    [mc_resident_objects{node}] (callback gauge, sampled at snapshot
+    time), and — in sharded mode — the per-shard gap-buffer series
+    [mc_shard_gap_depth{shard}] (gauge with high water, shared across
+    replicas) and [mc_shard_gap_buffered_total{shard}] (updates that
+    arrived ahead of a sequence gap and had to wait). *)
 val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit
 
 (** {1 Sharded (partially-replicated) mode}
@@ -224,4 +229,17 @@ val resident_objects : t -> int
 (** [shard_queue_depths t] is the sorted [(shard, pending)] list of
     per-shard delivery queue depths. *)
 val shard_queue_depths : t -> (int * int) list
+
+(** [shard_pending_len t ~shard] is the number of updates of [shard]
+    parked on a sequence gap ([0] when not subscribed) — the per-shard
+    staleness proxy sampled by read instrumentation. *)
+val shard_pending_len : t -> shard:int -> int
+
+(** [set_shard_apply_observer t f] installs a callback fired after every
+    {e remote} shard update is applied to its shard view (self-writes are
+    excluded), with the update's stream coordinates. The runtime uses it
+    to measure write-visibility latency per shard; when unset the cost is
+    one option check per apply. *)
+val set_shard_apply_observer :
+  t -> (shard:int -> writer:int -> sseq:int -> unit) -> unit
 

@@ -77,6 +77,36 @@ type extras = {
   h_flush : Metrics.Histogram.t; (* updates per outbox flush *)
 }
 
+(* One shard update in flight down its dissemination tree: registered at
+   the root when it is routed, updated by every hop transmission and by
+   every subscriber-side apply. Visibility latency is apply time minus
+   route time; the flight is complete once every remote subscriber
+   counted at registration has applied it. *)
+type flight = {
+  fl_t0 : float;
+  fl_loc : Op.location;
+  fl_expect : int; (* remote subscribers at registration time *)
+  mutable fl_applied : int;
+  mutable fl_hops : (int * int * float * float) list; (* src,dst,sent,recv; newest first *)
+  mutable fl_applies : (int * float) list; (* node, apply time; newest first *)
+  mutable fl_done : bool;
+}
+
+(* sharded-mode series and flight table, maintained only when
+   [Config.observe] is set and a placement is configured. All series are
+   labelled by shard — cardinality O(shards), never per-op. Completed
+   flights are retained only when the online checker runs ([so_keep]),
+   so the violation audit can attach causal paths to verdicts. *)
+type shard_obs = {
+  so_fetch_hist : (int, Metrics.Histogram.t) Hashtbl.t;
+  so_fetch_count : (int, Metrics.Counter.t) Hashtbl.t;
+  so_vis : (int, Metrics.Histogram.t) Hashtbl.t;
+  so_vis_full : (int, Metrics.Histogram.t) Hashtbl.t;
+  so_staleness : (int, Metrics.Histogram.t) Hashtbl.t;
+  so_inflight : (int * int * int, flight) Hashtbl.t; (* (writer, shard, sseq) *)
+  so_keep : bool;
+}
+
 type t = {
   engine : Engine.t;
   cfg : Config.t;
@@ -99,6 +129,7 @@ type t = {
   metrics : Metrics.Registry.t;
   hot : hot;
   extras : extras option;
+  shard_obs : shard_obs option;
   tracer : Trace.t option;
 }
 
@@ -218,11 +249,77 @@ let handle_message t node_id ~src msg =
     let shard = Mc_placement.Placement.shard_of_loc pl loc in
     let numeric, tag = Replica.shard_read node.replica ~shard loc in
     let clock = Replica.shard_clock node.replica ~shard in
+    (match t.tracer with
+    | Some tr ->
+      Trace.instant tr ~cat:"fetch" ~tid:node_id ~ts:(Engine.now t.engine)
+        ~args:[ ("loc", loc); ("proc", string_of_int proc) ]
+        "fetch_serve"
+    | None -> ());
     send t ~src:node_id ~dst:proc (Protocol.Fetch_reply { loc; numeric; tag; clock })
   | Protocol.Fetch_reply { loc; numeric; tag; clock } -> (
     match Hashtbl.find_opt node.fetch_waiters loc with
     | Some q when not (Queue.is_empty q) -> (Queue.pop q) (numeric, tag, clock)
     | Some _ | None -> invalid_arg "Runtime: unexpected fetch reply")
+
+(* per-shard series, memoized per runtime (the registry would memoize
+   too, but caching the handle keeps the hot path allocation-free) *)
+let shard_series tbl make shard =
+  match Hashtbl.find_opt tbl shard with
+  | Some h -> h
+  | None ->
+    let h = make (string_of_int shard) in
+    Hashtbl.add tbl shard h;
+    h
+
+let shard_hist t tbl ~name ~help shard =
+  shard_series tbl
+    (fun s ->
+      Metrics.Registry.histogram t.metrics ~help ~labels:[ ("shard", s) ] name)
+    shard
+
+let shard_counter t tbl ~name ~help shard =
+  shard_series tbl
+    (fun s ->
+      Metrics.Registry.counter t.metrics ~help ~labels:[ ("shard", s) ] name)
+    shard
+
+(* subscriber-side apply of a remote shard update: advance the update's
+   flight record and the per-shard visibility series, and mark the apply
+   point in the trace *)
+let on_shard_apply t node_id ~shard ~writer ~sseq =
+  let now = Engine.now t.engine in
+  (match t.tracer with
+  | Some tr ->
+    Trace.instant tr ~cat:"shard" ~tid:node_id ~ts:now
+      ~args:
+        [
+          ("shard", string_of_int shard);
+          ("writer", string_of_int writer);
+          ("sseq", string_of_int sseq);
+        ]
+      "shard_apply"
+  | None -> ());
+  match t.shard_obs with
+  | Some so -> (
+    match Hashtbl.find_opt so.so_inflight (writer, shard, sseq) with
+    | Some fl when not fl.fl_done ->
+      fl.fl_applied <- fl.fl_applied + 1;
+      fl.fl_applies <- (node_id, now) :: fl.fl_applies;
+      let dt = now -. fl.fl_t0 in
+      Metrics.Histogram.observe
+        (shard_hist t so.so_vis ~name:"mc_shard_visibility_us"
+           ~help:"write routed to applied at one subscriber (us)" shard)
+        dt;
+      if fl.fl_applied >= fl.fl_expect then begin
+        Metrics.Histogram.observe
+          (shard_hist t so.so_vis_full ~name:"mc_shard_visibility_full_us"
+             ~help:"write routed to applied at every subscriber (us)" shard)
+          dt;
+        fl.fl_done <- true;
+        if not so.so_keep then Hashtbl.remove so.so_inflight (writer, shard, sseq)
+      end
+    | _ -> ())
+  | None -> ()
 
 let create engine ?latency cfg =
   let n = cfg.Config.procs in
@@ -292,6 +389,20 @@ let create engine ?latency cfg =
         }
     else None
   in
+  let shard_obs =
+    if cfg.Config.observe && cfg.Config.placement <> None then
+      Some
+        {
+          so_fetch_hist = Hashtbl.create 8;
+          so_fetch_count = Hashtbl.create 8;
+          so_vis = Hashtbl.create 8;
+          so_vis_full = Hashtbl.create 8;
+          so_staleness = Hashtbl.create 8;
+          so_inflight = Hashtbl.create 256;
+          so_keep = cfg.Config.check_online;
+        }
+    else None
+  in
   let rec t =
     lazy
       (let send_from home ~dst msg =
@@ -345,6 +456,7 @@ let create engine ?latency cfg =
          metrics;
          hot;
          extras;
+         shard_obs;
          tracer = cfg.Config.tracer;
        })
   in
@@ -370,16 +482,84 @@ let create engine ?latency cfg =
     Network.attach_metrics net metrics;
     Array.iter (fun node -> Replica.attach_metrics node.replica metrics) t.nodes;
     Option.iter
+      (fun pl -> Mc_placement.Placement.attach_metrics pl metrics)
+      cfg.Config.placement;
+    Option.iter
       (fun c -> Mc_consistency.Online.attach_metrics c metrics)
       t.checker
   end;
-  (match t.tracer with
-  | Some tr ->
-    Network.set_observer net (fun ~src ~dst ~bytes ~kind ~seq ~sent ~recv ->
-        Trace.flow tr ~id:seq ~src ~dst ~ts_send:sent ~ts_recv:recv
-          ~args:[ ("bytes", string_of_int bytes) ]
-          kind)
-  | None -> ());
+  (* visibility tracking: every remote shard-update apply reports back
+     through the replica's apply observer *)
+  if cfg.Config.placement <> None && (t.shard_obs <> None || t.tracer <> None)
+  then
+    Array.iteri
+      (fun node_id node ->
+        Replica.set_shard_apply_observer node.replica (fun ~shard ~writer ~sseq ->
+            on_shard_apply t node_id ~shard ~writer ~sseq))
+      t.nodes;
+  if t.tracer <> None || t.shard_obs <> None then begin
+    (* fetch round trips are paired by a per-(requester, location) FIFO of
+       fresh rtt ids: requests and replies of one pair travel opposite
+       directions of FIFO channels through a home that answers in arrival
+       order, so the queue discipline matches them exactly *)
+    let rtt_counter = ref 0 in
+    let rtt_pending : (int * Op.location, int Queue.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let rtt_push key =
+      incr rtt_counter;
+      let q =
+        match Hashtbl.find_opt rtt_pending key with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add rtt_pending key q;
+          q
+      in
+      Queue.push !rtt_counter q;
+      !rtt_counter
+    in
+    let rtt_pop key =
+      match Hashtbl.find_opt rtt_pending key with
+      | Some q when not (Queue.is_empty q) -> Queue.pop q
+      | _ -> -1
+    in
+    Network.set_observer net
+      (fun ~src ~dst ~bytes ~kind ~seq ~sent ~recv msg ->
+        let emit ?(cat = "msg") args =
+          match t.tracer with
+          | Some tr ->
+            Trace.flow tr ~cat ~id:seq ~src ~dst ~ts_send:sent ~ts_recv:recv
+              ~args:(("bytes", string_of_int bytes) :: args)
+              kind
+          | None -> ()
+        in
+        match msg with
+        | Protocol.Shard_update su ->
+          (match t.shard_obs with
+          | Some so -> (
+            match
+              Hashtbl.find_opt so.so_inflight
+                (su.su_writer, su.su_shard, su.su_sseq)
+            with
+            | Some fl -> fl.fl_hops <- (src, dst, sent, recv) :: fl.fl_hops
+            | None -> ())
+          | None -> ());
+          emit ~cat:"shard"
+            [
+              ("shard", string_of_int su.su_shard);
+              ("writer", string_of_int su.su_writer);
+              ("sseq", string_of_int su.su_sseq);
+              ("loc", su.su_loc);
+            ]
+        | Protocol.Fetch_request { proc; loc } ->
+          emit ~cat:"fetch"
+            [ ("loc", loc); ("rtt", string_of_int (rtt_push (proc, loc))) ]
+        | Protocol.Fetch_reply { loc; _ } ->
+          emit ~cat:"fetch"
+            [ ("loc", loc); ("rtt", string_of_int (rtt_pop (dst, loc))) ]
+        | _ -> emit [])
+  end;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -548,24 +728,55 @@ let fetch_admissible t ~shard ~loc clock =
    the virtual initial value — no message needed. *)
 let fetch_read p pl ~label ~shard loc =
   Metrics.Counter.incr p.rt.hot.c_fetch;
+  (match p.rt.shard_obs with
+  | Some so ->
+    Metrics.Counter.incr
+      (shard_counter p.rt so.so_fetch_count ~name:"mc_shard_fetch_total"
+         ~help:"demand fetches per shard" shard)
+  | None -> ());
   let node = p.rt.nodes.(p.id) in
   let numeric, tag, clock =
     match Mc_placement.Placement.home pl ~shard with
     | None -> (0, 0, [])
     | Some home ->
+      let t_req = Engine.now p.rt.engine in
       send p.rt ~src:p.id ~dst:home
         (Protocol.Fetch_request { proc = p.id; loc });
-      timed p p.rt.hot.h_fetch (fun () ->
-          Engine.suspend p.rt.engine (fun resume ->
-              let q =
-                match Hashtbl.find_opt node.fetch_waiters loc with
-                | Some q -> q
-                | None ->
-                  let q = Queue.create () in
-                  Hashtbl.add node.fetch_waiters loc q;
-                  q
-              in
-              Queue.push resume q))
+      let reply =
+        timed p p.rt.hot.h_fetch (fun () ->
+            Engine.suspend p.rt.engine (fun resume ->
+                let q =
+                  match Hashtbl.find_opt node.fetch_waiters loc with
+                  | Some q -> q
+                  | None ->
+                    let q = Queue.create () in
+                    Hashtbl.add node.fetch_waiters loc q;
+                    q
+                in
+                Queue.push resume q))
+      in
+      let dt = Engine.now p.rt.engine -. t_req in
+      (match p.rt.shard_obs with
+      | Some so ->
+        Metrics.Histogram.observe
+          (shard_hist p.rt so.so_fetch_hist ~name:"mc_shard_fetch_us"
+             ~help:"demand-fetch round trip per shard (us)" shard)
+          dt
+      | None -> ());
+      (* the request/reply flow arcs carry a shared rtt id; this slice is
+         their requester-side pairing in chrome://tracing *)
+      (match p.rt.tracer with
+      | Some tr ->
+        Trace.span tr ~cat:"fetch" ~tid:p.id ~ts:t_req ~dur:dt
+          ~args:
+            [
+              ("loc", loc);
+              ("shard", string_of_int shard);
+              ("home", string_of_int home);
+            ]
+          "fetch_rtt"
+      | None -> ());
+      reply
   in
   (* announce the snapshot to the partial-view checker, atomically with
      the record below (no suspension in between) *)
@@ -603,6 +814,13 @@ let read p ?(label = Op.Causal) loc =
         | Op.Causal | Op.PRAM -> ());
         let shard = Mc_placement.Placement.shard_of_loc pl loc in
         if Replica.shard_subscribed node.replica ~shard then begin
+          (match p.rt.shard_obs with
+          | Some so ->
+            Metrics.Histogram.observe
+              (shard_hist p.rt so.so_staleness ~name:"mc_shard_staleness_updates"
+                 ~help:"shard updates parked on a gap at read time" shard)
+              (float_of_int (Replica.shard_pending_len node.replica ~shard))
+          | None -> ());
           let numeric, tag =
             match label with
             | Op.Causal -> Replica.shard_read node.replica ~shard loc
@@ -728,10 +946,42 @@ let broadcast_update p (u : Protocol.update) =
    this writer's tree children only *)
 let shard_route p pl (su : Protocol.shard_update) =
   let node = p.rt.nodes.(p.id) in
+  let subs = Mc_placement.Placement.subscribers pl ~shard:su.su_shard in
   List.iter
     (fun dst ->
       if dst <> p.id then node.sent_updates.(dst) <- node.sent_updates.(dst) + 1)
-    (Mc_placement.Placement.subscribers pl ~shard:su.su_shard);
+    subs;
+  let expect = List.length (List.filter (fun d -> d <> p.id) subs) in
+  (* flight registration must precede the multicast: hop transmissions
+     report through the network observer synchronously below *)
+  (match p.rt.shard_obs with
+  | Some so ->
+    if expect > 0 then
+      Hashtbl.replace so.so_inflight
+        (su.su_writer, su.su_shard, su.su_sseq)
+        {
+          fl_t0 = Engine.now p.rt.engine;
+          fl_loc = su.su_loc;
+          fl_expect = expect;
+          fl_applied = 0;
+          fl_hops = [];
+          fl_applies = [];
+          fl_done = false;
+        }
+  | None -> ());
+  (match p.rt.tracer with
+  | Some tr ->
+    Trace.instant tr ~cat:"shard" ~tid:p.id ~ts:(Engine.now p.rt.engine)
+      ~args:
+        [
+          ("shard", string_of_int su.su_shard);
+          ("writer", string_of_int su.su_writer);
+          ("sseq", string_of_int su.su_sseq);
+          ("loc", su.su_loc);
+          ("expect", string_of_int expect);
+        ]
+      "shard_send"
+  | None -> ());
   let kids =
     Mc_placement.Placement.children pl ~shard:su.su_shard ~root:p.id ~node:p.id
   in
@@ -1134,6 +1384,71 @@ let fetch_count t = Metrics.Counter.get t.hot.c_fetch
 
 let metrics t = t.metrics
 let tracer t = t.tracer
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder introspection (violation audit)                     *)
+(* ------------------------------------------------------------------ *)
+
+type flight_info = {
+  fi_writer : int;
+  fi_shard : int;
+  fi_sseq : int;
+  fi_t0 : float;
+  fi_loc : Op.location;
+  fi_expect : int;
+  fi_applied : int;
+  fi_hops : (int * int * float * float) list; (* (src, dst, sent, recv), by send time *)
+  fi_applies : (int * float) list; (* (node, applied at), by time *)
+  fi_complete : bool;
+}
+
+let flight_info (writer, shard, sseq) fl =
+  {
+    fi_writer = writer;
+    fi_shard = shard;
+    fi_sseq = sseq;
+    fi_t0 = fl.fl_t0;
+    fi_loc = fl.fl_loc;
+    fi_expect = fl.fl_expect;
+    fi_applied = fl.fl_applied;
+    fi_hops =
+      List.sort (fun (_, _, a, _) (_, _, b, _) -> compare a b) fl.fl_hops;
+    fi_applies = List.sort (fun (_, a) (_, b) -> compare a b) fl.fl_applies;
+    fi_complete = fl.fl_done;
+  }
+
+let shard_flight t ~writer ~shard ~sseq =
+  match t.shard_obs with
+  | Some so ->
+    Option.map
+      (flight_info (writer, shard, sseq))
+      (Hashtbl.find_opt so.so_inflight (writer, shard, sseq))
+  | None -> None
+
+let shard_flights t =
+  match t.shard_obs with
+  | Some so ->
+    Hashtbl.fold (fun key fl acc -> flight_info key fl :: acc) so.so_inflight []
+    |> List.sort (fun a b ->
+           compare
+             (a.fi_writer, a.fi_shard, a.fi_sseq)
+             (b.fi_writer, b.fi_shard, b.fi_sseq))
+  | None -> []
+
+(* provenance of a recorded (non-counter) value: values carry unique
+   tags, so at most one stream entry matches *)
+let shard_write_source t ~loc ~value =
+  let found = ref None in
+  Hashtbl.iter
+    (fun (writer, shard) l ->
+      if !found = None then
+        List.iter
+          (fun (sseq, l', v) ->
+            if !found = None && l' = loc && v = value then
+              found := Some (writer, shard, sseq))
+          !l)
+    t.shard_log;
+  !found
 
 let op_label labels =
   match List.assoc_opt "op" labels with Some op -> op | None -> ""

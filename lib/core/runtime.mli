@@ -148,8 +148,63 @@ val op_counts : t -> (string * int) list
     [config.observe] set it additionally carries the engine, network,
     replica-delivery, online-checker, read-staleness
     ([mc_read_staleness_updates]) and outbox-flush
-    ([mc_outbox_flush_size]) series. *)
+    ([mc_outbox_flush_size]) series. Under sharded placement with
+    [config.observe] it further carries the shard-labelled series —
+    [mc_shard_fetch_total]/[mc_shard_fetch_us] (demand-fetch round
+    trips), [mc_shard_visibility_us]/[mc_shard_visibility_full_us]
+    (write routed → applied at one / every subscriber),
+    [mc_shard_staleness_updates] (gap-parked updates at read time),
+    [mc_shard_gap_depth]/[mc_shard_gap_buffered_total] (replica gap
+    buffers), [mc_shard_subscribers] and the placement churn /
+    tree-rebuild counters — all labelled per shard or per node, so the
+    series count is O(procs + shards) independent of operation count. *)
 val metrics : t -> Mc_obs.Metrics.Registry.t
 
-(** The tracer passed in [config.tracer], if any. *)
+(** The tracer passed in [config.tracer], if any. Under sharded
+    placement the trace additionally carries category ["shard"] events
+    (a [shard_send] instant at the root, one flow arc per tree hop and a
+    [shard_apply] instant per subscriber apply, all keyed by the
+    update's (writer, shard, sseq) args) and category ["fetch"] events
+    ([fetch_rtt] requester spans paired with request/reply flow arcs by
+    a shared [rtt] arg, plus [fetch_serve] instants at the home). *)
 val tracer : t -> Mc_obs.Trace.t option
+
+(** {1 Flight recorder (sharded placement + [config.observe])}
+
+    Every routed shard update is tracked root → leaves: registration at
+    routing time, one hop record per tree-edge transmission, one apply
+    record per remote subscriber. Flights feed the per-shard visibility
+    histograms; with the online checker on, completed flights are
+    retained so checker verdicts can be joined to the causal path that
+    delivered (or failed to deliver) a value. *)
+
+type flight_info = {
+  fi_writer : int;
+  fi_shard : int;
+  fi_sseq : int;
+  fi_t0 : float;  (** sim time the root routed the update *)
+  fi_loc : Mc_history.Op.location;
+  fi_expect : int;  (** remote subscribers at routing time *)
+  fi_applied : int;
+  fi_hops : (int * int * float * float) list;
+      (** (src, dst, sent, recv) tree-edge transmissions, by send time *)
+  fi_applies : (int * float) list;  (** (node, applied-at), by time *)
+  fi_complete : bool;
+}
+
+(** [shard_flight t ~writer ~shard ~sseq] is the flight of one update,
+    if tracked ([None] when observe is off, placement is absent, or the
+    flight completed with the checker off and was dropped). *)
+val shard_flight : t -> writer:int -> shard:int -> sseq:int -> flight_info option
+
+(** All tracked flights, sorted by (writer, shard, sseq). Incomplete
+    flights ([fi_complete = false]) are updates still in flight — e.g.
+    held on a paused link — at the time of the call. *)
+val shard_flights : t -> flight_info list
+
+(** [shard_write_source t ~loc ~value] resolves a recorded (tagged)
+    value to the (writer, shard, sseq) stream coordinates of the write
+    that produced it, via the checker's shard log (requires
+    [config.check_online] or [config.record] with placement; values are
+    unique tags, so the answer is unambiguous). *)
+val shard_write_source : t -> loc:Mc_history.Op.location -> value:int -> (int * int * int) option

@@ -14,9 +14,9 @@ type obs = {
   kind_counters : (string, Mc_obs.Metrics.Counter.t) Hashtbl.t;
 }
 
-type observer =
+type 'msg observer =
   src:int -> dst:int -> bytes:int -> kind:string -> seq:int -> sent:float ->
-  recv:float -> unit
+  recv:float -> 'msg -> unit
 
 type 'msg t = {
   engine : Engine.t;
@@ -32,7 +32,7 @@ type 'msg t = {
   kinds : Mc_util.Stats.Counters.t;
   mutable latencies : Mc_util.Stats.Summary.t;
   mutable obs : obs option;
-  mutable observer : observer option;
+  mutable observer : 'msg observer option;
 }
 
 let create engine ~nodes ~latency ?(send_cost = 0.) ?(byte_cost = 0.) () =
@@ -129,7 +129,7 @@ let transmit t ~src ~dst ~bytes ~kind msg =
     M.Counter.incr kc
   | None -> ());
   (match t.observer with
-  | Some f -> f ~src ~dst ~bytes ~kind ~seq:t.messages ~sent:depart ~recv:at
+  | Some f -> f ~src ~dst ~bytes ~kind ~seq:t.messages ~sent:depart ~recv:at msg
   | None -> ());
   Engine.schedule t.engine ~delay:(at -. now) (fun () -> deliver t ~src ~dst msg)
 

@@ -81,11 +81,14 @@ val reset_stats : 'msg t -> unit
 val attach_metrics : 'msg t -> Mc_obs.Metrics.Registry.t -> unit
 
 (** Per-transmit callback: fires once per non-local message with its
-    departure ([sent]) and delivery ([recv]) sim times and a unique
-    sequence number — the hook the tracer uses to draw send→deliver
-    arcs. Loopback sends bypass it. *)
-type observer =
+    departure ([sent]) and delivery ([recv]) sim times, a unique
+    sequence number and the message itself — the hook the tracer uses
+    to draw send→deliver arcs and to attribute shard-update hops to
+    their (writer, shard, seq) stream. Loopback sends bypass it, as do
+    messages held on a paused link (the callback fires when they are
+    actually transmitted). *)
+type 'msg observer =
   src:int -> dst:int -> bytes:int -> kind:string -> seq:int -> sent:float ->
-  recv:float -> unit
+  recv:float -> 'msg -> unit
 
-val set_observer : 'msg t -> observer -> unit
+val set_observer : 'msg t -> 'msg observer -> unit

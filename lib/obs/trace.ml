@@ -48,7 +48,9 @@ let emit t ev =
   List.iter (fun s -> s.on_event ev) t.sinks
 
 let span t ?(cat = "op") ?(args = []) ~tid ~ts ~dur name =
-  t.spans <- t.spans + 1;
+  (* only operation slices count towards the span==ops parity invariant;
+     auxiliary categories ("fetch" round trips, shard hops) do not. *)
+  if String.equal cat "op" then t.spans <- t.spans + 1;
   emit t (Complete { name; cat; tid; ts; dur; args })
 
 let instant t ?(cat = "event") ?(args = []) ~tid ~ts name =

@@ -72,7 +72,10 @@ val events : t -> event list
 (** Total events ever emitted (not limited by the ring). *)
 val event_count : t -> int
 
-(** Total [Complete] spans ever emitted (not limited by the ring). *)
+(** Total [Complete] spans of category ["op"] ever emitted (not limited
+    by the ring). Auxiliary span categories — e.g. ["fetch"] round-trip
+    slices — are excluded, so the count stays comparable to the number
+    of recorded operations. *)
 val span_count : t -> int
 
 (** Events evicted from the ring so far. *)

@@ -1,5 +1,10 @@
 type policy = Hash | Range of { objects : int }
 
+type obs = {
+  c_churn : Mc_obs.Metrics.Counter.t;
+  c_trees : Mc_obs.Metrics.Counter.t;
+}
+
 type t = {
   n_shards : int;
   t_policy : policy;
@@ -12,6 +17,7 @@ type t = {
   (* (shard, root) -> node -> children, rebuilt after subscription churn *)
   tree_cache : (int * int, (int, int list) Hashtbl.t) Hashtbl.t;
   sorted_cache : (int, int list) Hashtbl.t;
+  mutable p_obs : obs option;
 }
 
 let policy_to_string = function
@@ -35,6 +41,7 @@ let create ~shards ~policy ?(fanout = 4) () =
     loc_cache = Hashtbl.create 256;
     tree_cache = Hashtbl.create 64;
     sorted_cache = Hashtbl.create 64;
+    p_obs = None;
   }
 
 let shards t = t.n_shards
@@ -92,12 +99,18 @@ let invalidate t shard =
   in
   List.iter (Hashtbl.remove t.tree_cache) stale
 
+let note_churn t =
+  match t.p_obs with
+  | Some o -> Mc_obs.Metrics.Counter.incr o.c_churn
+  | None -> ()
+
 let subscribe t ~node ~shard =
   check_shard t shard;
   if node < 0 then invalid_arg "Placement.subscribe: negative node";
   Hashtbl.replace (set t.subs shard) node ();
   Hashtbl.replace (set t.node_subs node) shard ();
-  invalidate t shard
+  invalidate t shard;
+  note_churn t
 
 let unsubscribe t ~node ~shard =
   check_shard t shard;
@@ -107,7 +120,8 @@ let unsubscribe t ~node ~shard =
   (match Hashtbl.find_opt t.node_subs node with
   | Some s -> Hashtbl.remove s shard
   | None -> ());
-  invalidate t shard
+  invalidate t shard;
+  note_churn t
 
 let is_subscribed t ~node ~shard =
   match Hashtbl.find_opt t.subs shard with
@@ -162,9 +176,31 @@ let children t ~shard ~root ~node =
     | None ->
       let tbl = build_tree t ~shard ~root in
       Hashtbl.add t.tree_cache (shard, root) tbl;
+      (match t.p_obs with
+      | Some o -> Mc_obs.Metrics.Counter.incr o.c_trees
+      | None -> ());
       tbl
   in
   match Hashtbl.find_opt tbl node with Some cs -> cs | None -> []
+
+let attach_metrics t reg =
+  let module M = Mc_obs.Metrics in
+  t.p_obs <-
+    Some
+      {
+        c_churn =
+          M.Registry.counter reg ~help:"shard subscription changes"
+            "mc_placement_churn_total";
+        c_trees =
+          M.Registry.counter reg ~help:"dissemination tree (re)builds"
+            "mc_placement_tree_builds_total";
+      };
+  for shard = 0 to t.n_shards - 1 do
+    M.Registry.gauge_fn reg ~help:"nodes subscribed to shard"
+      ~labels:[ ("shard", string_of_int shard) ]
+      "mc_shard_subscribers"
+      (fun () -> float_of_int (List.length (subscribers t ~shard)))
+  done
 
 let pp fmt t =
   Format.fprintf fmt "placement(%d shards, %s, fanout %d)" t.n_shards

@@ -78,4 +78,13 @@ val home : t -> shard:int -> int option
     cache is invalidated by subscription changes. *)
 val children : t -> shard:int -> root:int -> node:int -> int list
 
+(** {1 Observability} *)
+
+(** [attach_metrics t reg] registers [mc_placement_churn_total]
+    (subscription changes), [mc_placement_tree_builds_total]
+    (dissemination-tree cache misses) and a per-shard
+    [mc_shard_subscribers{shard}] callback gauge — O(shards) series,
+    independent of operation count. *)
+val attach_metrics : t -> Mc_obs.Metrics.Registry.t -> unit
+
 val pp : Format.formatter -> t -> unit

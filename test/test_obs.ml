@@ -443,6 +443,157 @@ let test_observation_is_passive () =
   check "same final time" true (t_off = t_on);
   check_int "same result" acc_off acc_on
 
+(* ------------------------------------------------------------------ *)
+(* Shard-aware flight recorder and postmortem report                   *)
+(* ------------------------------------------------------------------ *)
+
+module Report = Mc_obs.Report
+module Placement = Mc_placement.Placement
+module Solver = Mc_apps.Linear_solver
+module Api = Mc_dsm.Api
+
+(* the sharded series must be labelled per shard or per node, never per
+   operation: at 1000 procs x 120 shards the registry stays linear in
+   (procs + shards) and does not grow with the op count *)
+let test_shard_label_cardinality () =
+  let procs = 1000 and shards = 120 in
+  let series ~writes =
+    let engine = Engine.create () in
+    let pl = Placement.create ~shards ~policy:Placement.Hash () in
+    for node = 0 to procs - 1 do
+      Placement.subscribe pl ~node ~shard:(node mod shards)
+    done;
+    (* the writer subscribes every shard so all of them carry traffic *)
+    for shard = 0 to shards - 1 do
+      Placement.subscribe pl ~node:0 ~shard
+    done;
+    let cfg =
+      { (Config.default ~procs) with observe = true; placement = Some pl }
+    in
+    let rt = Runtime.create engine cfg in
+    Runtime.spawn_process rt 0 (fun p ->
+        for i = 1 to writes do
+          Runtime.write p (Printf.sprintf "k:%d" (i mod 300)) i
+        done);
+    ignore (Runtime.run rt);
+    Metrics.Registry.series_count (Runtime.metrics rt)
+  in
+  (* both runs touch the same 300 locations (hence the same shards, as
+     the per-shard histograms are created on first touch); only the op
+     count differs — by 4x *)
+  let small = series ~writes:400 in
+  let large = series ~writes:1600 in
+  check_int "series count independent of op count" small large;
+  check "series count linear in procs + shards" true
+    (small <= 8 * (procs + shards))
+
+(* the live [mcdsm report] pipeline: sharded solver with metrics,
+   tracer, recorder and online checker all attached *)
+let sharded_solver_run ~seed =
+  let n = 8 and procs = 3 and shards = 4 in
+  let tracer = Trace.create ~capacity:65536 () in
+  let engine = Engine.create () in
+  let pl =
+    Placement.create ~shards ~policy:(Placement.Range { objects = n }) ()
+  in
+  Solver.subscribe_shards pl ~procs ~n;
+  let cfg =
+    {
+      (Config.default ~procs) with
+      record = true;
+      check_online = true;
+      observe = true;
+      placement = Some pl;
+      tracer = Some tracer;
+    }
+  in
+  let rt = Runtime.create engine cfg in
+  let problem = Solver.Problem.generate ~seed ~n in
+  ignore
+    (Solver.launch ~spawn:(Api.spawn rt) ~procs ~variant:Solver.Barrier_pram
+       problem);
+  ignore (Runtime.run rt);
+  (rt, tracer)
+
+let live_input (rt, tracer) =
+  {
+    Report.events = Trace.events tracer;
+    metrics = Metrics.Registry.snapshot (Runtime.metrics rt);
+    violations = Some [];
+    meta = [ ("mode", "live") ];
+  }
+
+let test_report_json_deterministic () =
+  let j1 = Report.to_json (Report.analyze (live_input (sharded_solver_run ~seed:42))) in
+  let j2 = Report.to_json (Report.analyze (live_input (sharded_solver_run ~seed:42))) in
+  check "report json valid" true (json_valid j1);
+  check "byte-identical across two seeded runs" true (String.equal j1 j2);
+  (* the report actually carries shard flight data *)
+  let r = Report.analyze (live_input (sharded_solver_run ~seed:42)) in
+  check "has shard rows" true (r.Report.r_shards <> []);
+  check "some shard has visibility stats" true
+    (List.exists (fun row -> row.Report.sr_vis <> None) r.Report.r_shards);
+  check "some shard has fetch stats" true
+    (List.exists (fun row -> row.Report.sr_fetches > 0) r.Report.r_shards)
+
+(* analyzing the live event buffer and re-parsing the exported trace
+   file must agree: counts exactly, latency stats within the float
+   precision of the export format (9 significant digits) *)
+let test_report_live_file_parity () =
+  let ((rt, tracer) as run) = sharded_solver_run ~seed:42 in
+  let live = Report.analyze (live_input run) in
+  let jsonl =
+    String.concat "\n"
+      (List.map Trace.event_to_chrome_json (Trace.events tracer))
+  in
+  let events = Report.parse_trace jsonl in
+  let metrics =
+    Report.parse_metrics (Metrics.Registry.to_json (Runtime.metrics rt))
+  in
+  let filed =
+    Report.analyze { Report.events; metrics; violations = None; meta = [] }
+  in
+  check_int "events round-trip" live.Report.r_events filed.Report.r_events;
+  check_int "op spans" live.Report.r_op_spans filed.Report.r_op_spans;
+  check_int "flows" live.Report.r_flows filed.Report.r_flows;
+  check_int "instants" live.Report.r_instants filed.Report.r_instants;
+  check_int "shard rows" (List.length live.Report.r_shards)
+    (List.length filed.Report.r_shards);
+  let close a b = Float.abs (a -. b) < 0.11 in
+  let stats_close a b =
+    match (a, b) with
+    | None, None -> true
+    | Some (x : Report.stat), Some (y : Report.stat) ->
+      x.Report.n = y.Report.n
+      && close x.Report.mean y.Report.mean
+      && close x.Report.p50 y.Report.p50
+      && close x.Report.p95 y.Report.p95
+      && close x.Report.max y.Report.max
+    | _ -> false
+  in
+  List.iter2
+    (fun (a : Report.shard_row) (b : Report.shard_row) ->
+      check_int "shard id" a.Report.sr_shard b.Report.sr_shard;
+      check_int "updates" a.Report.sr_updates b.Report.sr_updates;
+      check_int "hops" a.Report.sr_hops b.Report.sr_hops;
+      check_int "applies" a.Report.sr_applies b.Report.sr_applies;
+      check_int "in flight" a.Report.sr_in_flight b.Report.sr_in_flight;
+      check_int "fetches" a.Report.sr_fetches b.Report.sr_fetches;
+      check "visibility stats agree" true
+        (stats_close a.Report.sr_vis b.Report.sr_vis);
+      check "full-visibility stats agree" true
+        (stats_close a.Report.sr_vis_full b.Report.sr_vis_full);
+      check "fetch stats agree" true
+        (stats_close a.Report.sr_fetch b.Report.sr_fetch))
+    live.Report.r_shards filed.Report.r_shards;
+  check "hot keys agree" true (live.Report.r_hot_keys = filed.Report.r_hot_keys);
+  check "placement counters agree" true
+    (live.Report.r_placement = filed.Report.r_placement);
+  (* the whole-buffer chrome form parses to the same event set *)
+  let chrome_events = Report.parse_trace (Trace.to_chrome tracer) in
+  check_int "chrome form event count" (List.length events)
+    (List.length chrome_events)
+
 let () =
   Alcotest.run "obs"
     [
@@ -469,5 +620,14 @@ let () =
             test_span_op_parity_and_order;
           Alcotest.test_case "observation is passive" `Quick
             test_observation_is_passive;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "shard label cardinality" `Quick
+            test_shard_label_cardinality;
+          Alcotest.test_case "report json deterministic" `Quick
+            test_report_json_deterministic;
+          Alcotest.test_case "live/file mode parity" `Quick
+            test_report_live_file_parity;
         ] );
     ]
